@@ -1,0 +1,63 @@
+// Command tocbench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	tocbench -list
+//	tocbench -run fig5
+//	tocbench -run all -scale 0.5
+//
+// Each experiment prints a paper-style table; EXPERIMENTS.md records the
+// expected shapes. -scale trades runtime for fidelity (1.0 = default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"toc/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7) or 'all'")
+		scale = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Printf("  %-8s %s\n", id, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun one with: tocbench -run <id>")
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tocbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tocbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+	}
+}

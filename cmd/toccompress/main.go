@@ -1,0 +1,94 @@
+// Command toccompress compresses a matrix file with any registered scheme
+// and reports ratio breakdowns, or round-trips a file to verify
+// losslessness.
+//
+// The input format is the DEN binary image (see internal/matrix): a
+// 16-byte dims header followed by row-major IEEE-754 doubles. Use
+// cmd/tocgen to produce dataset files in this format.
+//
+// Usage:
+//
+//	toccompress -in batch.den -method TOC -out batch.toc
+//	toccompress -in batch.den -report          # ratios for all methods
+//	toccompress -in batch.den -method TOC -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"toc"
+	"toc/internal/matrix"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("toccompress: ")
+	var (
+		in     = flag.String("in", "", "input matrix file (DEN binary)")
+		out    = flag.String("out", "", "output file for the compressed image")
+		method = flag.String("method", "TOC", "encoding method")
+		report = flag.Bool("report", false, "print ratios for every method")
+		verify = flag.Bool("verify", false, "verify lossless round trip")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("missing -in (DEN binary matrix file)")
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := matrix.DeserializeDense(raw)
+	if err != nil {
+		log.Fatalf("%s: %v", *in, err)
+	}
+	fmt.Printf("%s: %dx%d, %d bytes dense, sparsity %.3f\n",
+		*in, m.Rows(), m.Cols(), m.SerializedSize(), m.Sparsity())
+
+	if *report {
+		fmt.Printf("%-8s %12s %8s %12s %12s\n", "method", "bytes", "ratio", "comp_ms", "decomp_ms")
+		for _, name := range toc.Methods() {
+			start := time.Now()
+			c := toc.Encode(name, m)
+			compMs := time.Since(start).Seconds() * 1e3
+			start = time.Now()
+			c.Decode()
+			decompMs := time.Since(start).Seconds() * 1e3
+			fmt.Printf("%-8s %12d %8.2f %12.3f %12.3f\n",
+				name, c.CompressedSize(),
+				float64(m.SerializedSize())/float64(c.CompressedSize()),
+				compMs, decompMs)
+		}
+		return
+	}
+
+	codec, ok := toc.GetCodec(*method)
+	if !ok {
+		log.Fatalf("unknown method %q (have %v)", *method, toc.Methods())
+	}
+	c := codec.Encode(m)
+	img := c.Serialize()
+	fmt.Printf("%s: %d bytes (%.2fx)\n", *method, len(img),
+		float64(m.SerializedSize())/float64(len(img)))
+
+	if *verify {
+		back, err := codec.Decode(img)
+		if err != nil {
+			log.Fatalf("decode: %v", err)
+		}
+		if !back.Decode().Equal(m) {
+			log.Fatal("round trip MISMATCH")
+		}
+		fmt.Println("round trip verified lossless")
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,77 @@
+// Command toctrain runs end-to-end MGD training of one model on one
+// dataset under one encoding and an optional memory budget — the paper's
+// Table 6/7 cell, as a single reproducible run.
+//
+// Usage:
+//
+//	toctrain -dataset imagenet -rows 4000 -model lr -method TOC
+//	toctrain -dataset mnist -model nn -method CSR -budget 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"toc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("toctrain: ")
+	var (
+		dataset   = flag.String("dataset", "census", "dataset name")
+		rows      = flag.Int("rows", 4000, "dataset rows")
+		modelName = flag.String("model", "lr", "model: linreg, lr, svm, nn")
+		method    = flag.String("method", "TOC", "mini-batch encoding method")
+		batchSize = flag.Int("batch", 250, "mini-batch rows")
+		epochs    = flag.Int("epochs", 5, "training epochs")
+		lr        = flag.Float64("lr", 0.3, "learning rate")
+		budget    = flag.Int64("budget", 0, "memory budget bytes (0 = unlimited)")
+		bandwidth = flag.Int64("bw", 150<<20, "simulated disk read bandwidth bytes/s")
+		seed      = flag.Int64("seed", 1, "random seed")
+		hidden    = flag.Float64("hidden", 0.25, "NN hidden layer scale (1.0 = paper's 200/50)")
+	)
+	flag.Parse()
+
+	d, err := toc.GenerateDataset(*dataset, *rows, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.ShuffleOnce(*seed + 1)
+
+	if *budget <= 0 {
+		*budget = 1 << 50
+	}
+	store, err := toc.NewStore("", *method, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	store.SetReadBandwidth(*bandwidth)
+	for i := 0; i < d.NumBatches(*batchSize); i++ {
+		x, y := d.Batch(i, *batchSize)
+		if err := store.Add(x, y); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := store.Stats()
+	fmt.Printf("%s %dx%d as %s: %d batches, %d resident (%d KB), %d spilled (%d KB)\n",
+		*dataset, d.X.Rows(), d.X.Cols(), *method,
+		store.NumBatches(), st.ResidentBatches, st.ResidentBytes/1024,
+		st.SpilledBatches, st.SpilledBytes/1024)
+
+	model, err := toc.NewModel(*modelName, d.X.Cols(), d.Classes, *hidden, *seed+7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("epoch  loss      elapsed_ms")
+	res := toc.Train(model, store, *epochs, *lr, func(e int, elapsed time.Duration, loss float64) {
+		fmt.Printf("%5d  %.6f  %10.1f\n", e+1, loss, elapsed.Seconds()*1e3)
+	})
+	st = store.Stats()
+	fmt.Printf("total %.1fms (IO %.1fms, %d spilled reads), final error %.3f\n",
+		res.Total.Seconds()*1e3, st.ReadTime.Seconds()*1e3, st.Reads,
+		toc.EvaluateError(model, store))
+}

@@ -1,0 +1,49 @@
+// Logistic regression on census-like data with compressed mini-batches:
+// the paper's core workload. Trains the same model with TOC, CSR and
+// Gzip encodings and shows that the learned weights are identical while
+// footprints and runtimes differ.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"toc"
+)
+
+func main() {
+	d, err := toc.GenerateDataset("census", 4000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.ShuffleOnce(2) // the paper's shuffle-once policy (§2.1.3)
+
+	const (
+		batchSize = 250
+		epochs    = 5
+		lr        = 0.5
+	)
+	fmt.Printf("census-like: %d rows x %d cols, sparsity %.2f, batch=%d\n\n",
+		d.X.Rows(), d.X.Cols(), d.Sparsity(), batchSize)
+
+	var refLoss float64
+	for _, method := range []string{"TOC", "CSR", "Gzip"} {
+		src := toc.NewMemorySource(d, batchSize, method)
+		model, err := toc.NewModel("lr", d.X.Cols(), d.Classes, 1, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := toc.Train(model, src, epochs, lr, nil)
+		finalLoss := res.EpochLoss[len(res.EpochLoss)-1]
+		errRate := toc.EvaluateError(model, src)
+		fmt.Printf("%-6s footprint %8d bytes  train %8.1fms  loss %.6f  err %.3f\n",
+			method, src.CompressedBytes(),
+			res.Total.Seconds()*1e3, finalLoss, errRate)
+		if method == "TOC" {
+			refLoss = finalLoss
+		} else if diff := finalLoss - refLoss; diff > 1e-9 || diff < -1e-9 {
+			log.Fatalf("%s training diverged from TOC: %v vs %v", method, finalLoss, refLoss)
+		}
+	}
+	fmt.Println("\nall encodings reach identical losses: the compressed kernels are exact.")
+}

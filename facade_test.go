@@ -1,0 +1,63 @@
+package toc
+
+import "testing"
+
+// Facade smoke test: the public API compresses, operates, serializes and
+// trains end to end.
+func TestFacadeEndToEnd(t *testing.T) {
+	a := NewDenseFromRows([][]float64{
+		{1.1, 2, 3, 1.4},
+		{1.1, 2, 3, 0},
+		{0, 1.1, 3, 1.4},
+		{1.1, 2, 0, 0},
+	})
+	b := Compress(a)
+	if b.CompressionRatio() <= 1 {
+		t.Fatalf("ratio = %v", b.CompressionRatio())
+	}
+	if got := b.MulVec([]float64{1, 0, 0, 0}); got[0] != 1.1 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	back, err := Deserialize(b.Serialize())
+	if err != nil || !back.Decode().Equal(a) {
+		t.Fatalf("round trip: %v", err)
+	}
+	for _, m := range PaperMethods() {
+		if !Encode(m, a).Decode().Equal(a) {
+			t.Fatalf("%s not lossless", m)
+		}
+	}
+	d, err := GenerateDataset("census", 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(2)
+	model, err := NewModel("lr", d.X.Cols(), d.Classes, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewMemorySource(d, 50, "TOC")
+	res := Train(model, src, 4, 0.5, nil)
+	if res.EpochLoss[3] >= res.EpochLoss[0] {
+		t.Fatalf("loss did not decrease: %v", res.EpochLoss)
+	}
+	store, err := NewStore(t.TempDir(), "TOC", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	x, y := d.Batch(0, 50)
+	if err := store.Add(x, y); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := store.Batch(0)
+	if !c.Decode().Equal(x) {
+		t.Fatal("store round trip mismatch")
+	}
+	if len(DatasetNames()) != 6 || len(Methods()) < 8 {
+		t.Fatal("registry incomplete")
+	}
+	if _, ok := GetCodec("TOC"); !ok {
+		t.Fatal("TOC codec missing")
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"toc/internal/formats"
+	"toc/internal/matrix"
+)
+
+// Compression-ratio experiments: Figure 5 (mini-batches of 50..250 rows),
+// Figure 6 (TOC ablation) and Figure 7 (large mini-batches). Ratio is
+// uncompressed DEN size over compressed size, the paper's §5.1 definition.
+
+func init() {
+	register("fig5", "compression ratios on mini-batches (50-250 rows)", runFig5)
+	register("fig6", "TOC ablation: sparse / +logical / full encoding ratios", runFig6)
+	register("fig7", "compression ratios on large mini-batches", runFig7)
+}
+
+func ratioFor(method string, batch *matrix.Dense) float64 {
+	c := formats.MustGet(method)(batch)
+	den := batch.SerializedSize()
+	return float64(den) / float64(c.CompressedSize())
+}
+
+var fig5Methods = []string{"CSR", "CVI", "DVI", "Snappy", "Gzip", "TOC", "CLA"}
+
+func runFig5(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "compression ratios of different methods on mini-batches with varying sizes",
+		Columns: append([]string{"dataset", "rows"}, fig5Methods...),
+		Notes: []string{
+			"ratio = DEN bytes / compressed bytes (higher is better)",
+			"paper shape: TOC best on census/imagenet/kdd99; Gzip edges TOC on mnist;",
+			"  TOC~CSR on rcv1 (extreme sparsity); everyone ~1x on deep1b (dense unique)",
+		},
+	}
+	sizes := []int{50, 100, 150, 200, 250}
+	for _, ds := range datasetList() {
+		d, err := getDataset(ds, cfg.rows(250), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range sizes {
+			if n > d.X.Rows() {
+				n = d.X.Rows()
+			}
+			batch := d.X.SliceRows(0, n)
+			row := []string{ds, fmt.Sprint(n)}
+			for _, m := range fig5Methods {
+				row = append(row, f2(ratioFor(m, batch)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+func datasetList() []string {
+	return []string{"census", "imagenet", "mnist", "kdd99", "rcv1", "deep1b"}
+}
+
+func runFig6(cfg Config) (*Table, error) {
+	variants := []string{"TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL", "TOC_FULL"}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "compression ratios of TOC variants (encoding-layer ablation)",
+		Columns: append([]string{"dataset", "rows"}, variants...),
+		Notes: []string{
+			"paper shape: each added layer improves the ratio on every dataset",
+		},
+	}
+	sizes := []int{50, 150, 250}
+	for _, ds := range datasetList() {
+		d, err := getDataset(ds, cfg.rows(250), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range sizes {
+			if n > d.X.Rows() {
+				n = d.X.Rows()
+			}
+			batch := d.X.SliceRows(0, n)
+			row := []string{ds, fmt.Sprint(n)}
+			for _, v := range variants {
+				row = append(row, f2(ratioFor(v, batch)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+func runFig7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "compression ratios on large mini-batches (fraction of the dataset)",
+		Columns: append([]string{"dataset", "pct"}, fig5Methods...),
+		Notes: []string{
+			"paper shape: TOC becomes more competitive as the batch grows;",
+			"  at 100% (BGD) TOC has the best ratio on the moderate-sparsity sets",
+		},
+	}
+	percents := []int{10, 25, 50, 100}
+	for _, ds := range []string{"census", "imagenet", "mnist", "kdd99"} {
+		d, err := getDataset(ds, cfg.rows(2000), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range percents {
+			n := d.X.Rows() * p / 100
+			if n < 1 {
+				n = 1
+			}
+			batch := d.X.SliceRows(0, n)
+			row := []string{ds, fmt.Sprint(p)}
+			for _, m := range fig5Methods {
+				row = append(row, f2(ratioFor(m, batch)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"toc/internal/formats"
+	"toc/internal/matrix"
+)
+
+// Figure 8: average runtimes of matrix operations on compressed
+// mini-batches (250 rows, M with 20 columns/rows, per the paper's §5.2).
+
+func init() {
+	register("fig8", "matrix operation runtimes on compressed mini-batches", runFig8)
+	register("fig12", "compression and decompression runtimes (Snappy/Gzip/TOC)", runFig12)
+}
+
+var fig8Methods = []string{"CLA", "DEN", "CSR", "CVI", "DVI", "Snappy", "Gzip", "TOC"}
+
+// timeOp reports the average duration of f over reps runs after one warm-up.
+func timeOp(f func(), reps int) time.Duration {
+	f() // warm up (and populate lazy caches)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+func runFig8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "avg runtimes (µs) of matrix ops on compressed 250-row mini-batches",
+		Columns: append([]string{"dataset", "op"}, fig8Methods...),
+		Notes: []string{
+			"paper shape: Gzip/Snappy are orders of magnitude slower (decompression per op);",
+			"  A*c is near-free for CVI/DVI/TOC (dictionary-only);",
+			"  TOC fastest on A*M and M*A for the moderate-sparsity datasets",
+		},
+	}
+	reps := 5
+	rows := 250
+	p := 20 // columns of M in A·M, rows of M in M·A (paper: 20)
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	for _, ds := range datasetList() {
+		d, err := getDataset(ds, rows, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		batch := d.X.SliceRows(0, rows)
+		cols := batch.Cols()
+		v := make([]float64, cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		u := make([]float64, rows)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		mRight := matrix.NewDense(cols, p)
+		for i := 0; i < cols; i++ {
+			for j := 0; j < p; j++ {
+				mRight.Set(i, j, rng.NormFloat64())
+			}
+		}
+		mLeft := matrix.NewDense(p, rows)
+		for i := 0; i < p; i++ {
+			for j := 0; j < rows; j++ {
+				mLeft.Set(i, j, rng.NormFloat64())
+			}
+		}
+		encoded := map[string]formats.CompressedMatrix{}
+		for _, m := range fig8Methods {
+			encoded[m] = formats.MustGet(m)(batch)
+		}
+		ops := []struct {
+			name string
+			run  func(c formats.CompressedMatrix)
+		}{
+			{"A*c", func(c formats.CompressedMatrix) { c.Scale(1.5) }},
+			{"A*v", func(c formats.CompressedMatrix) { c.MulVec(v) }},
+			{"A*M", func(c formats.CompressedMatrix) { c.MulMat(mRight) }},
+			{"v*A", func(c formats.CompressedMatrix) { c.VecMul(u) }},
+			{"M*A", func(c formats.CompressedMatrix) { c.MatMul(mLeft) }},
+		}
+		for _, op := range ops {
+			row := []string{ds, op.name}
+			for _, m := range fig8Methods {
+				c := encoded[m]
+				dur := timeOp(func() { op.run(c) }, reps)
+				row = append(row, fmt.Sprintf("%.1f", float64(dur.Nanoseconds())/1e3))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Figure 12: compression and decompression time of Snappy, Gzip and TOC on
+// 250-row mini-batches. "Decompression" for TOC means full decoding to a
+// dense matrix (the operation TOC's kernels exist to avoid).
+func runFig12(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "compression/decompression time (ms) on 250-row mini-batches",
+		Columns: []string{"dataset", "comp Snappy", "comp Gzip", "comp TOC", "decomp Snappy", "decomp Gzip", "decomp TOC"},
+		Notes: []string{
+			"paper shape: compression Snappy < TOC < Gzip; decompression TOC < Snappy < Gzip",
+		},
+	}
+	reps := 5
+	for _, ds := range datasetList() {
+		d, err := getDataset(ds, 250, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		batch := d.X.SliceRows(0, 250)
+		row := []string{ds}
+		for _, m := range []string{"Snappy", "Gzip", "TOC"} {
+			enc := formats.MustGet(m)
+			dur := timeOp(func() { enc(batch) }, reps)
+			row = append(row, fmt.Sprintf("%.3f", dur.Seconds()*1e3))
+		}
+		for _, m := range []string{"Snappy", "Gzip", "TOC"} {
+			c := formats.MustGet(m)(batch)
+			dur := timeOp(func() { c.Decode() }, reps)
+			row = append(row, fmt.Sprintf("%.3f", dur.Seconds()*1e3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,138 @@
+// Package bitpack implements the physical-encoding primitives of §3.2 of the
+// paper: bit packing of arrays of small non-negative integers and value
+// indexing (dictionary encoding) of float64 values.
+//
+// Per the paper, each non-negative integer in an array is stored using
+// ceil((floor(log2 max)+1)/8) bytes — i.e. 1, 2, 3 (uint24) or 4 bytes — and
+// every encoded array carries a header recording the number of integers and
+// the number of bytes per integer. §4.1.1 describes accessing a packed
+// integer by seeking to its position and casting the bytes, masking the
+// leading byte for uint24; Get does exactly that.
+package bitpack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// headerSize is the encoded array header: uint32 count + uint8 width.
+const headerSize = 5
+
+// BytesPerInt returns the number of bytes bit packing uses per value for
+// arrays whose maximum element is max: ceil((floor(log2 max)+1)/8), with the
+// paper's convention that an all-zero array still uses one byte per value.
+func BytesPerInt(max uint32) int {
+	switch {
+	case max < 1<<8:
+		return 1
+	case max < 1<<16:
+		return 2
+	case max < 1<<24:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Array is a bit-packed array of non-negative integers with random access.
+// The zero value is an empty array.
+type Array struct {
+	n     int    // number of integers
+	width int    // bytes per integer (1..4)
+	data  []byte // n*width payload bytes
+}
+
+// Pack encodes vals into a bit-packed array.
+func Pack(vals []uint32) *Array {
+	var max uint32
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	w := BytesPerInt(max)
+	a := &Array{n: len(vals), width: w, data: make([]byte, len(vals)*w)}
+	for i, v := range vals {
+		a.put(i, v)
+	}
+	return a
+}
+
+func (a *Array) put(i int, v uint32) {
+	off := i * a.width
+	switch a.width {
+	case 1:
+		a.data[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(a.data[off:], uint16(v))
+	case 3:
+		a.data[off] = byte(v)
+		a.data[off+1] = byte(v >> 8)
+		a.data[off+2] = byte(v >> 16)
+	default:
+		binary.LittleEndian.PutUint32(a.data[off:], v)
+	}
+}
+
+// Len returns the number of integers in the array.
+func (a *Array) Len() int { return a.n }
+
+// Width returns the number of bytes used per integer.
+func (a *Array) Width() int { return a.width }
+
+// Get returns the i-th integer. It is the §4.1.1 access path: seek and cast,
+// masking the leading byte to zero in the uint24 case.
+func (a *Array) Get(i int) uint32 {
+	off := i * a.width
+	switch a.width {
+	case 1:
+		return uint32(a.data[off])
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(a.data[off:]))
+	case 3:
+		// copy the three bytes into a uint32 and mask the leading byte.
+		return uint32(a.data[off]) | uint32(a.data[off+1])<<8 | uint32(a.data[off+2])<<16
+	default:
+		return binary.LittleEndian.Uint32(a.data[off:])
+	}
+}
+
+// Unpack decodes the whole array into a fresh slice.
+func (a *Array) Unpack() []uint32 {
+	out := make([]uint32, a.n)
+	for i := range out {
+		out[i] = a.Get(i)
+	}
+	return out
+}
+
+// EncodedSize returns the number of bytes AppendTo writes (header + payload).
+func (a *Array) EncodedSize() int { return headerSize + len(a.data) }
+
+// AppendTo appends the encoded array (header + payload) to dst.
+func (a *Array) AppendTo(dst []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(a.n))
+	hdr[4] = byte(a.width)
+	dst = append(dst, hdr[:]...)
+	return append(dst, a.data...)
+}
+
+// ReadArray decodes an encoded array from the front of buf, returning the
+// array and the remaining bytes. The returned Array aliases buf.
+func ReadArray(buf []byte) (*Array, []byte, error) {
+	if len(buf) < headerSize {
+		return nil, nil, fmt.Errorf("bitpack: truncated header: %d bytes", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	w := int(buf[4])
+	if w < 1 || w > 4 {
+		return nil, nil, fmt.Errorf("bitpack: invalid width %d", w)
+	}
+	need := n * w
+	rest := buf[headerSize:]
+	if len(rest) < need {
+		return nil, nil, fmt.Errorf("bitpack: truncated payload: have %d, need %d", len(rest), need)
+	}
+	return &Array{n: n, width: w, data: rest[:need:need]}, rest[need:], nil
+}

@@ -1,0 +1,69 @@
+package bitpack
+
+import "fmt"
+
+// Varint encoding — the paper's §3.2 names Varint [12] as a more advanced
+// physical encoding and leaves it as future work; it is provided here as an
+// optional extension (see the VarintArrays ablation bench in bench_test.go).
+// The encoding is the standard LEB128 base-128 scheme used by protocol
+// buffers: 7 value bits per byte, high bit set on continuation bytes.
+
+// AppendUvarint appends the varint encoding of v to dst.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uvarint decodes a varint from the front of buf, returning the value and
+// the number of bytes consumed. It returns an error on truncated or
+// over-long input.
+func Uvarint(buf []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i, b := range buf {
+		if i == 10 {
+			return 0, 0, fmt.Errorf("bitpack: varint too long")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, fmt.Errorf("bitpack: truncated varint")
+}
+
+// PackVarint encodes vals using varint coding with a count prefix.
+func PackVarint(vals []uint32) []byte {
+	out := AppendUvarint(nil, uint64(len(vals)))
+	for _, v := range vals {
+		out = AppendUvarint(out, uint64(v))
+	}
+	return out
+}
+
+// UnpackVarint decodes a varint-packed array from the front of buf,
+// returning the values and the remaining bytes.
+func UnpackVarint(buf []byte) ([]uint32, []byte, error) {
+	n, c, err := Uvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf = buf[c:]
+	out := make([]uint32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, c, err := Uvarint(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if v > 0xffffffff {
+			return nil, nil, fmt.Errorf("bitpack: varint value %d overflows uint32", v)
+		}
+		buf = buf[c:]
+		out = append(out, uint32(v))
+	}
+	return out, buf, nil
+}

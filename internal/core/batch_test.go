@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"toc/internal/matrix"
+)
+
+// redundantMatrix generates a matrix with TOC-friendly structure: values
+// drawn from a small pool and rows composed from a handful of shared
+// segment templates, so pair sequences repeat across tuples.
+func redundantMatrix(rng *rand.Rand, rows, cols int, sparsity float64, poolSize int) *matrix.Dense {
+	pool := make([]float64, poolSize)
+	for i := range pool {
+		pool[i] = math.Round(rng.NormFloat64()*8) / 4
+		if pool[i] == 0 {
+			pool[i] = 0.25
+		}
+	}
+	// A few row templates; each row perturbs one.
+	nTemplates := 3
+	templates := make([][]float64, nTemplates)
+	for t := range templates {
+		row := make([]float64, cols)
+		for j := range row {
+			if rng.Float64() < sparsity {
+				row[j] = pool[rng.Intn(poolSize)]
+			}
+		}
+		templates[t] = row
+	}
+	d := matrix.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		base := templates[rng.Intn(nTemplates)]
+		row := d.Row(i)
+		copy(row, base)
+		// perturb a couple of positions
+		for k := 0; k < 2 && cols > 0; k++ {
+			j := rng.Intn(cols)
+			if rng.Float64() < 0.5 {
+				row[j] = 0
+			} else {
+				row[j] = pool[rng.Intn(poolSize)]
+			}
+		}
+	}
+	return d
+}
+
+var allVariants = []Variant{Full, SparseLogical, SparseOnly}
+
+func TestCompressDecodeLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][2]int{{1, 1}, {1, 10}, {10, 1}, {7, 13}, {50, 40}, {250, 68}}
+	for _, v := range allVariants {
+		for _, s := range shapes {
+			a := redundantMatrix(rng, s[0], s[1], 0.4, 5)
+			b := CompressVariant(a, v)
+			if !b.Decode().Equal(a) {
+				t.Fatalf("%v %v: decode mismatch", v, s)
+			}
+		}
+	}
+}
+
+func TestCompressEdgeCases(t *testing.T) {
+	for _, v := range allVariants {
+		// all-zero matrix
+		z := matrix.NewDense(5, 8)
+		b := CompressVariant(z, v)
+		if !b.Decode().Equal(z) {
+			t.Fatalf("%v: all-zero decode mismatch", v)
+		}
+		if got := b.MulVec(make([]float64, 8)); len(got) != 5 {
+			t.Fatalf("%v: all-zero MulVec length %d", v, len(got))
+		}
+		// empty matrix
+		e := matrix.NewDense(0, 0)
+		be := CompressVariant(e, v)
+		if be.Rows() != 0 || be.Cols() != 0 {
+			t.Fatalf("%v: empty dims wrong", v)
+		}
+		if !be.Decode().Equal(e) {
+			t.Fatalf("%v: empty decode mismatch", v)
+		}
+		// single dense row
+		r := matrix.NewDenseFromRows([][]float64{{1, 2, 3, 4, 5}})
+		br := CompressVariant(r, v)
+		if !br.Decode().Equal(r) {
+			t.Fatalf("%v: single row decode mismatch", v)
+		}
+	}
+}
+
+func TestOpsMatchDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(15)
+		a := redundantMatrix(rng, rows, cols, 0.3+rng.Float64()*0.5, 2+rng.Intn(5))
+		for _, variant := range allVariants {
+			b := CompressVariant(a, variant)
+			if !b.Decode().Equal(a) {
+				return false
+			}
+			v := randVec(rng, cols)
+			if !vecApproxEq(b.MulVec(v), a.MulVec(v)) {
+				return false
+			}
+			u := randVec(rng, rows)
+			if !vecApproxEq(b.VecMul(u), a.VecMul(u)) {
+				return false
+			}
+			p := 1 + rng.Intn(4)
+			m := matrix.NewDense(cols, p)
+			fillRand(rng, m)
+			if !b.MulMat(m).EqualApprox(a.MulMat(m), 1e-9) {
+				return false
+			}
+			m2 := matrix.NewDense(p, rows)
+			fillRand(rng, m2)
+			if !b.MatMul(m2).EqualApprox(a.MatMul(m2), 1e-9) {
+				return false
+			}
+			c := rng.NormFloat64()
+			if !b.Scale(c).Decode().EqualApprox(a.Scale(c), 1e-9) {
+				return false
+			}
+			if !b.Square().Decode().EqualApprox(a.MulElem(a), 1e-9) {
+				return false
+			}
+			if !b.AddScalar(c).EqualApprox(a.AddScalar(c), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func fillRand(rng *rand.Rand, m *matrix.Dense) {
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+}
+
+func vecApproxEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// The decode tree parent index is always smaller than the child index —
+// the invariant that makes the one-pass forward/backward kernel scans
+// correct. Verify it over random inputs.
+func TestTreeTopologicalInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := redundantMatrix(rng, 1+rng.Intn(30), 1+rng.Intn(20), 0.5, 4)
+		b := Compress(a)
+		tree := b.buildTree()
+		for i := 1; i < tree.Len(); i++ {
+			if int(tree.Parent[i]) >= i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeRoundTripAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := redundantMatrix(rng, 40, 25, 0.45, 4)
+	for _, v := range allVariants {
+		b := CompressVariant(a, v)
+		img := b.Serialize()
+		if len(img) != b.CompressedSize() {
+			t.Fatalf("%v: image %d bytes != CompressedSize %d", v, len(img), b.CompressedSize())
+		}
+		got, err := Deserialize(img)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got.Variant() != v || got.Rows() != 40 || got.Cols() != 25 {
+			t.Fatalf("%v: header mismatch", v)
+		}
+		if !got.Decode().Equal(a) {
+			t.Fatalf("%v: decode after round trip mismatch", v)
+		}
+		vec := randVec(rng, 25)
+		if !vecApproxEq(got.MulVec(vec), a.MulVec(vec)) {
+			t.Fatalf("%v: MulVec after round trip mismatch", v)
+		}
+	}
+}
+
+func TestDeserializeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := redundantMatrix(rng, 10, 8, 0.5, 3)
+	img := Compress(a).Serialize()
+
+	if _, err := Deserialize(nil); err == nil {
+		t.Fatal("nil image should error")
+	}
+	if _, err := Deserialize(img[:5]); err == nil {
+		t.Fatal("truncated header should error")
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] = 'X'
+	if _, err := Deserialize(bad); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	bad = append([]byte(nil), img...)
+	bad[4] = 99
+	if _, err := Deserialize(bad); err == nil {
+		t.Fatal("bad version should error")
+	}
+	bad = append([]byte(nil), img...)
+	bad[5] = 7
+	if _, err := Deserialize(bad); err == nil {
+		t.Fatal("bad variant should error")
+	}
+	for cut := headerSize; cut < len(img); cut += 7 {
+		if _, err := Deserialize(img[:cut]); err == nil {
+			t.Fatalf("truncation at %d should error", cut)
+		}
+	}
+}
+
+// Single-byte flips must never panic: either the image still parses (and
+// decodes to some matrix) or Deserialize returns an error.
+func TestDeserializeByteFlipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := redundantMatrix(rng, 8, 6, 0.5, 3)
+	img := Compress(a).Serialize()
+	for pos := 0; pos < len(img); pos++ {
+		for _, flip := range []byte{0x01, 0xFF} {
+			bad := append([]byte(nil), img...)
+			bad[pos] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at byte %d flip %#x: %v", pos, flip, r)
+					}
+				}()
+				b, err := Deserialize(bad)
+				if err != nil {
+					return
+				}
+				b.Decode()
+			}()
+		}
+	}
+}
+
+func TestValidateRejectsForwardReference(t *testing.T) {
+	// Hand-build an image whose D references a node that does not exist
+	// yet at replay time: I = [p], D = [[2]] — node 2 was never created
+	// (a single-element tuple creates nothing).
+	b := &Batch{rows: 1, cols: 2, variant: SparseLogical,
+		i: []Pair{{0, 1}},
+		d: dTable{Nodes: []uint32{2}, Starts: []uint32{0, 1}},
+	}
+	if _, err := Deserialize(b.buildImage()); err == nil {
+		t.Fatal("forward node reference should be rejected")
+	}
+	// Node index 0 (the root) is never a valid code either.
+	b.d = dTable{Nodes: []uint32{0}, Starts: []uint32{0, 1}}
+	if _, err := Deserialize(b.buildImage()); err == nil {
+		t.Fatal("root code should be rejected")
+	}
+}
+
+func TestCompressionRatioOrdering(t *testing.T) {
+	// On redundant data the full pipeline must beat logical-only, which
+	// must beat sparse-only; all must beat DEN (ratio > 1).
+	rng := rand.New(rand.NewSource(8))
+	a := redundantMatrix(rng, 200, 60, 0.4, 4)
+	full := CompressVariant(a, Full).CompressedSize()
+	logical := CompressVariant(a, SparseLogical).CompressedSize()
+	sparse := CompressVariant(a, SparseOnly).CompressedSize()
+	den := 16 + 8*200*60
+	if !(full < logical && logical < sparse && sparse < den) {
+		t.Fatalf("size ordering violated: full=%d logical=%d sparse=%d den=%d",
+			full, logical, sparse, den)
+	}
+}
+
+func TestScaleSharesD(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := redundantMatrix(rng, 30, 20, 0.5, 3)
+	b := Compress(a)
+	s := b.Scale(3)
+	// Algorithm 3 touches only I; D must be shared, not copied.
+	if len(s.d.Nodes) > 0 && &s.d.Nodes[0] != &b.d.Nodes[0] {
+		t.Fatal("Scale copied D; Algorithm 3 should only touch I")
+	}
+	// and the original must be untouched
+	if !b.Decode().Equal(a) {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	b := Compress(matrix.NewDense(3, 4))
+	cases := []func(){
+		func() { b.MulVec(make([]float64, 3)) },
+		func() { b.VecMul(make([]float64, 4)) },
+		func() { b.MulMat(matrix.NewDense(3, 2)) },
+		func() { b.MatMul(matrix.NewDense(2, 4)) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestCompressionRatioValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := redundantMatrix(rng, 100, 50, 0.4, 3)
+	b := Compress(a)
+	want := float64(b.UncompressedSize()) / float64(b.CompressedSize())
+	if got := b.CompressionRatio(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio = %v, want %v", got, want)
+	}
+	if b.UncompressedSize() != 16+8*100*50 {
+		t.Fatalf("uncompressed size = %d", b.UncompressedSize())
+	}
+}

@@ -1,0 +1,94 @@
+// Package core implements tuple-oriented compression (TOC), the primary
+// contribution of "Tuple-oriented Compression for Large-scale Mini-batch
+// Stochastic Gradient Descent" (Li et al., SIGMOD 2019), together with the
+// paper's compressed matrix-operation execution techniques.
+//
+// TOC compresses a mini-batch (a small dense matrix) in three layers:
+//
+//  1. Sparse encoding (§3): zeros are dropped and every non-zero value is
+//     prefixed with its column index, forming column-index:value pairs.
+//  2. Logical encoding (§3.1): an LZW-inspired prefix-tree encoder replaces
+//     repeated pair sequences across tuples with tree-node indexes
+//     (Algorithm 1). Only the encoded table D and the tree's first layer I
+//     are kept; the full tree is rebuilt on demand (Algorithm 2).
+//  3. Physical encoding (§3.2): bit packing and value indexing shrink the
+//     integer arrays and the float dictionary.
+//
+// Matrix operations execute directly on (I, D) without decompression:
+// sparse-safe element-wise ops (Algorithm 3), right multiplications A·v and
+// A·M (Algorithms 4 and 7), and left multiplications v·A and M·A
+// (Algorithms 5 and 8). Sparse-unsafe ops decode first (Algorithm 6).
+package core
+
+import (
+	"sort"
+
+	"toc/internal/matrix"
+)
+
+// Pair is a column-index:value pair, the compression unit of TOC (§3).
+// Unlike LZW's 8-bit units, encoding whole pairs preserves column
+// boundaries in the underlying tabular data (Table 3).
+type Pair struct {
+	Col uint32
+	Val float64
+}
+
+// SparseRow is the sparse encoding of one tuple: its non-zero values, each
+// prefixed with its column index, in ascending column order.
+type SparseRow []Pair
+
+// SparseEncode converts a dense matrix into the sparse encoded table B of
+// §3: row R=[1.1, 2, 3, 0] becomes [1:1.1, 2:2, 3:3] (columns are 1-based
+// in the paper's figures; here they are 0-based indexes).
+func SparseEncode(d *matrix.Dense) []SparseRow {
+	b := make([]SparseRow, d.Rows())
+	for i := 0; i < d.Rows(); i++ {
+		row := d.Row(i)
+		var sr SparseRow
+		for j, v := range row {
+			if v != 0 {
+				sr = append(sr, Pair{Col: uint32(j), Val: v})
+			}
+		}
+		b[i] = sr
+	}
+	return b
+}
+
+// sparseDecode reconstructs a dense matrix from a sparse encoded table.
+func sparseDecode(b []SparseRow, cols int) *matrix.Dense {
+	d := matrix.NewDense(len(b), cols)
+	for i, sr := range b {
+		for _, p := range sr {
+			d.Set(i, int(p.Col), p.Val)
+		}
+	}
+	return d
+}
+
+// uniquePairs returns the distinct pairs of b in first-appearance order
+// (the phase-I initialization order of Algorithm 1).
+func uniquePairs(b []SparseRow) []Pair {
+	seen := make(map[Pair]struct{})
+	var out []Pair
+	for _, sr := range b {
+		for _, p := range sr {
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// sortPairsByCol sorts pairs by (column, value); used only by diagnostics.
+func sortPairsByCol(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Col != ps[j].Col {
+			return ps[i].Col < ps[j].Col
+		}
+		return ps[i].Val < ps[j].Val
+	})
+}

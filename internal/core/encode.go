@@ -1,0 +1,128 @@
+package core
+
+// Algorithm 1: the prefix tree encoding algorithm. It encodes the sparse
+// encoded table B into the encoded table D, building the prefix tree C
+// along the way. Each tuple is encoded separately (the dictionary is
+// shared) so row boundaries are preserved; the compression unit is a whole
+// column-index:value pair so column boundaries are preserved (§3.1.3).
+
+// PrefixTreeEncode runs Algorithm 1 on the sparse encoded table b,
+// returning the column-index:value pairs in the first layer of the prefix
+// tree (I) and the encoded table (D). I[k] is the key of tree node k+1:
+// together with D it suffices to rebuild the full tree (Algorithm 2).
+func PrefixTreeEncode(b []SparseRow) (I []Pair, D [][]uint32) {
+	I, D, _ = prefixTreeEncode(b, false)
+	return I, D
+}
+
+// TraceStep records one iteration of the phase-II while loop of Algorithm
+// 1, in the shape of the paper's Table 2.
+type TraceStep struct {
+	Tuple     int    // which tuple of B this step processed
+	I         int    // matching start position within the tuple
+	MatchNode uint32 // longest-match tree node index (column "LMFromTree")
+	Appended  uint32 // index appended to D[t] (column "App")
+	AddedNode uint32 // newly added node index, 0 if AddNode was NOT called
+	AddedSeq  []Pair // sequence represented by the added node (nil if none)
+}
+
+// PrefixTreeEncodeTrace is PrefixTreeEncode with a step-by-step trace of
+// phase II, used to reproduce the paper's Table 2 exactly.
+func PrefixTreeEncodeTrace(b []SparseRow) (I []Pair, D [][]uint32, trace []TraceStep) {
+	return prefixTreeEncode(b, true)
+}
+
+func prefixTreeEncode(b []SparseRow, traced bool) (I []Pair, D [][]uint32, trace []TraceStep) {
+	c := newEncodeTree()
+
+	// Phase I: initialize the tree with all unique column-index:value pairs
+	// as children of the root (lines 5-8).
+	for _, t := range b {
+		for _, p := range t {
+			if _, ok := c.GetIndex(0, p); !ok {
+				c.AddNode(0, p)
+			}
+		}
+	}
+	firstLayer := len(c.keys) - 1
+
+	// Phase II: encode every tuple, extending the tree along the way
+	// (lines 9-17).
+	D = make([][]uint32, len(b))
+	// seq reconstructs node sequences only when tracing.
+	var parentOf []uint32
+	if traced {
+		parentOf = make([]uint32, len(c.keys))
+	}
+	for ti, t := range b {
+		i := 0
+		d := make([]uint32, 0, len(t))
+		for i < len(t) {
+			n, j := longestMatchFromTree(t, i, c)
+			d = append(d, n)
+			step := TraceStep{Tuple: ti, I: i, MatchNode: n, Appended: n}
+			if j < len(t) {
+				added := c.AddNode(n, t[j])
+				if traced {
+					parentOf = append(parentOf, n)
+					step.AddedNode = added
+					step.AddedSeq = nodeSequence(c, parentOf, added)
+				}
+			}
+			if traced {
+				trace = append(trace, step)
+			}
+			i = j
+		}
+		D[ti] = d
+	}
+
+	I = make([]Pair, firstLayer)
+	copy(I, c.keys[1:firstLayer+1])
+	return I, D, trace
+}
+
+// longestMatchFromTree finds the longest sequence in the prefix tree that
+// matches tuple t starting at position i, returning the matched node index
+// and the next matching start position (Algorithm 1, lines 21-34). The
+// match is always at least one pair long because phase I seeded the first
+// layer with every unique pair.
+func longestMatchFromTree(t SparseRow, i int, c *encodeTree) (n uint32, j int) {
+	j = i
+	next, ok := c.GetIndex(0, t[j]) // match the first element
+	if !ok {
+		// Unreachable after phase I; kept as a defensive invariant.
+		panic("core: pair missing from prefix tree first layer")
+	}
+	for {
+		n = next
+		j++ // try matching the next element
+		if j < len(t) {
+			next, ok = c.GetIndex(n, t[j])
+		} else {
+			ok = false // reached the end of tuple t
+		}
+		if !ok {
+			return n, j
+		}
+	}
+}
+
+// nodeSequence reconstructs the pair sequence represented by node idx using
+// the parent links collected during tracing.
+func nodeSequence(c *encodeTree, parentOf []uint32, idx uint32) []Pair {
+	var rev []Pair
+	for idx != 0 {
+		rev = append(rev, c.keys[idx])
+		if int(idx) < len(parentOf) {
+			idx = parentOf[idx]
+		} else {
+			idx = 0
+		}
+	}
+	seq := make([]Pair, len(rev))
+	for i := range rev {
+		seq[i] = rev[len(rev)-1-i]
+	}
+	return seq
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"toc/internal/matrix"
+)
+
+// The paper's §6 discussion: applying im2col to an image replicates each
+// pixel across sliding windows, and the replicated matrix compresses
+// better under TOC than the original image because entire window contents
+// repeat as pair sequences.
+func TestIm2ColImprovesTOCRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// A blocky "image": 28x28 with constant 4x4 tiles from a small palette
+	// (flat regions like digit strokes).
+	img := matrix.NewDense(28, 28)
+	palette := []float64{0, 0, 0.25, 0.5, 1} // mostly background
+	for by := 0; by < 7; by++ {
+		for bx := 0; bx < 7; bx++ {
+			v := palette[rng.Intn(len(palette))]
+			for y := by * 4; y < by*4+4; y++ {
+				for x := bx * 4; x < bx*4+4; x++ {
+					img.Set(y, x, v)
+				}
+			}
+		}
+	}
+	replicated := matrix.Im2Col(img, 5, 5)
+
+	imgRatio := Compress(img).CompressionRatio()
+	repRatio := Compress(replicated).CompressionRatio()
+	if repRatio <= imgRatio {
+		t.Fatalf("im2col should raise the TOC ratio: image %.2fx vs replicated %.2fx",
+			imgRatio, repRatio)
+	}
+
+	// And convolution over the compressed replicated matrix equals the
+	// dense convolution.
+	kernel := matrix.NewDense(5, 5)
+	vec := make([]float64, 25)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			k := rng.NormFloat64()
+			kernel.Set(i, j, k)
+			vec[i*5+j] = k
+		}
+	}
+	got := Compress(replicated).MulVec(vec)
+	want := matrix.Conv2DDense(img, kernel)
+	idx := 0
+	for y := 0; y < want.Rows(); y++ {
+		for x := 0; x < want.Cols(); x++ {
+			diff := got[idx] - want.At(y, x)
+			if diff < -1e-9 || diff > 1e-9 {
+				t.Fatalf("conv mismatch at (%d,%d): %v vs %v", y, x, got[idx], want.At(y, x))
+			}
+			idx++
+		}
+	}
+}
+
+// Scale must keep the serialized image consistent: a scaled batch
+// round-trips through Serialize/Deserialize with the scaled values.
+func TestScaleSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := redundantMatrix(rng, 25, 12, 0.5, 3)
+	for _, v := range allVariants {
+		s := CompressVariant(a, v).Scale(3)
+		got, err := Deserialize(s.Serialize())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !got.Decode().EqualApprox(a.Scale(3), 1e-12) {
+			t.Fatalf("%v: scaled round trip mismatch", v)
+		}
+	}
+}
+
+// Ops must be usable concurrently on the same batch (the scratch pool is
+// shared process-wide).
+func TestConcurrentOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := redundantMatrix(rng, 60, 30, 0.5, 4)
+	b := Compress(a)
+	v := randVec(rng, 30)
+	want := a.MulVec(v)
+	done := make(chan bool, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ok := true
+			for i := 0; i < 50; i++ {
+				if !vecApproxEq(b.MulVec(v), want) {
+					ok = false
+					break
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent MulVec returned wrong results")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"toc/internal/matrix"
+)
+
+// Left multiplication operations: v·A (Algorithm 5, Theorem 2) and M·A
+// (Algorithm 8, Theorem 4). D is scanned first to accumulate
+// G(x) = Σ_{D[i,j]=x} v[i] (Equation 7), then C' is scanned backwards:
+// each node contributes key·G to the result and pushes its accumulated
+// weight up to its parent, evaluating Equation 8 without ever
+// materializing node sequences.
+
+// VecMul computes v·A on the compressed batch.
+func (b *Batch) VecMul(v []float64) []float64 {
+	if len(v) != b.rows {
+		panic(fmt.Sprintf("core: VecMul dim mismatch %d != %d", len(v), b.rows))
+	}
+	r := make([]float64, b.cols)
+	if b.variant == SparseOnly {
+		for i := 0; i < b.rows; i++ {
+			vi := v[i]
+			if vi == 0 {
+				continue
+			}
+			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+				r[b.srCols[k]] += vi * b.srVals[k]
+			}
+		}
+		return r
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	// Scan D to compute H[x] = G(x).
+	h := sc.floatBuf(t.Len())
+	for i := 0; i < b.rows; i++ {
+		vi := v[i]
+		for _, n := range b.d.row(i) {
+			h[n] += vi
+		}
+	}
+	// Scan C' backwards: children precede parents, so pushing H[i] onto
+	// H[parent] visits every implicit sequence element exactly once.
+	for i := t.Len() - 1; i >= 1; i-- {
+		k := t.Key[i]
+		r[k.Col] += k.Val * h[i]
+		h[t.Parent[i]] += h[i]
+	}
+	return r
+}
+
+// MatMul computes M·A on the compressed batch, where M is p × rows.
+func (b *Batch) MatMul(m *matrix.Dense) *matrix.Dense {
+	if m.Cols() != b.rows {
+		panic(fmt.Sprintf("core: MatMul dim mismatch %d != %d", m.Cols(), b.rows))
+	}
+	p := m.Rows()
+	r := matrix.NewDense(p, b.cols)
+	if b.variant == SparseOnly {
+		for i := 0; i < b.rows; i++ {
+			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+				col := int(b.srCols[k])
+				val := b.srVals[k]
+				for row := 0; row < p; row++ {
+					r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
+				}
+			}
+		}
+		return r
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	// Scan D to compute H[x,:] = G(x) = Σ_{D[i,j]=x} M[:,i]. H is stored
+	// node-major ("transposed" in the paper's wording) so D is scanned
+	// once with good locality.
+	h := sc.floatBuf(t.Len() * p)
+	for i := 0; i < b.rows; i++ {
+		for _, n := range b.d.row(i) {
+			hn := h[int(n)*p : int(n)*p+p]
+			for k := 0; k < p; k++ {
+				hn[k] += m.At(k, i)
+			}
+		}
+	}
+	// Scan C' backwards, pushing accumulated weights to parents.
+	for i := t.Len() - 1; i >= 1; i-- {
+		key := t.Key[i]
+		hi := h[i*p : i*p+p]
+		hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
+		col := int(key.Col)
+		for k := 0; k < p; k++ {
+			r.Set(k, col, r.At(k, col)+key.Val*hi[k])
+			hp[k] += hi[k]
+		}
+	}
+	return r
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"toc/internal/matrix"
+)
+
+// Parallel right multiplication (the §5.3 data-parallel NN path, listed as
+// an extension in DESIGN.md §7). The decode tree C' and the H table are
+// read-only after the forward scan, and every output row of A·M depends on
+// one tuple of D only, so the D scan parallelizes across row shards with
+// no synchronization beyond a WaitGroup.
+//
+// Left multiplications accumulate *into* shared per-node state and would
+// need per-shard partials; they stay sequential here, matching how the
+// paper parallelizes the NN forward pass (the batch is sharded, not the
+// kernel's reduction).
+
+// MulMatParallel computes A·M like MulMat, splitting the D scan over
+// workers goroutines (workers <= 0 uses GOMAXPROCS). It returns results
+// identical to MulMat.
+func (b *Batch) MulMatParallel(m *matrix.Dense, workers int) *matrix.Dense {
+	if m.Rows() != b.cols {
+		panic(fmt.Sprintf("core: MulMatParallel dim mismatch %d != %d", m.Rows(), b.cols))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || b.rows < 2*workers || b.variant == SparseOnly {
+		return b.MulMat(m)
+	}
+	p := m.Cols()
+	r := matrix.NewDense(b.rows, p)
+
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	// Forward scan of C' (sequential: each H row depends on its parent).
+	h := sc.floatBuf(t.Len() * p)
+	for i := 1; i < t.Len(); i++ {
+		k := t.Key[i]
+		mrow := m.Row(int(k.Col))
+		hi := h[i*p : i*p+p]
+		hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
+		for j := range hi {
+			hi[j] = k.Val*mrow[j] + hp[j]
+		}
+	}
+	// Parallel D scan: disjoint output rows per shard.
+	var wg sync.WaitGroup
+	shard := (b.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * shard
+		hi := lo + shard
+		if hi > b.rows {
+			hi = b.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ri := r.Row(i)
+				for _, n := range b.d.row(i) {
+					hn := h[int(n)*p : int(n)*p+p]
+					for j := range ri {
+						ri[j] += hn[j]
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return r
+}
+
+// MulVecParallel computes A·v like MulVec with the D scan sharded across
+// workers goroutines.
+func (b *Batch) MulVecParallel(v []float64, workers int) []float64 {
+	if len(v) != b.cols {
+		panic(fmt.Sprintf("core: MulVecParallel dim mismatch %d != %d", len(v), b.cols))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || b.rows < 2*workers || b.variant == SparseOnly {
+		return b.MulVec(v)
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	h := sc.floatBuf(t.Len())
+	for i := 1; i < t.Len(); i++ {
+		k := t.Key[i]
+		h[i] = k.Val*v[k.Col] + h[t.Parent[i]]
+	}
+	r := make([]float64, b.rows)
+	var wg sync.WaitGroup
+	shard := (b.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * shard
+		hiRow := lo + shard
+		if hiRow > b.rows {
+			hiRow = b.rows
+		}
+		if lo >= hiRow {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var s float64
+				for _, n := range b.d.row(i) {
+					s += h[n]
+				}
+				r[i] = s
+			}
+		}(lo, hiRow)
+	}
+	wg.Wait()
+	return r
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"toc/internal/matrix"
+)
+
+func TestParallelOpsMatchSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(60)
+		cols := 1 + rng.Intn(20)
+		a := redundantMatrix(rng, rows, cols, 0.5, 4)
+		b := Compress(a)
+		v := randVec(rng, cols)
+		for _, workers := range []int{0, 1, 2, 5} {
+			if !vecApproxEq(b.MulVecParallel(v, workers), b.MulVec(v)) {
+				return false
+			}
+		}
+		p := 1 + rng.Intn(4)
+		m := matrix.NewDense(cols, p)
+		fillRand(rng, m)
+		want := b.MulMat(m)
+		for _, workers := range []int{0, 1, 2, 5} {
+			if !b.MulMatParallel(m, workers).EqualApprox(want, 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelSparseOnlyFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := redundantMatrix(rng, 40, 10, 0.5, 3)
+	b := CompressVariant(a, SparseOnly)
+	v := randVec(rng, 10)
+	if !vecApproxEq(b.MulVecParallel(v, 4), a.MulVec(v)) {
+		t.Fatal("sparse-only parallel fallback wrong")
+	}
+}
+
+func TestParallelDimMismatchPanics(t *testing.T) {
+	b := Compress(matrix.NewDense(30, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.MulVecParallel(make([]float64, 3), 4)
+}

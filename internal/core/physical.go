@@ -1,0 +1,304 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"toc/internal/bitpack"
+)
+
+// Physical encoding (§3.2): the logical outputs I and D are serialized to
+// bytes. For the Full variant, integer arrays (column indexes of I, value
+// indexes, tree-node indexes of D, tuple start indexes) are bit packed and
+// the float values of I are value-indexed, exactly as in Figure 3. The
+// ablation variants store the same information raw.
+//
+// Image layout (little-endian):
+//
+//	header: "TOCB" | version=1 | variant | rows u32 | cols u32
+//	Full:          bitpack(I.cols) | valueindex(I.vals) |
+//	               bitpack(D.nodes) | bitpack(D.starts)
+//	SparseLogical: u32 |I|, raw (u32 col, f64 val)... |
+//	               u32 |D.nodes|, raw u32... | raw u32 starts[rows+1]
+//	SparseOnly:    u32 nnz | raw u32 starts[rows+1] | raw u32 cols |
+//	               raw f64 vals
+
+const (
+	imageMagic   = "TOCB"
+	imageVersion = 1
+	headerSize   = 4 + 1 + 1 + 4 + 4
+)
+
+// Serialize returns the physical byte image of the batch.
+func (b *Batch) Serialize() []byte {
+	if b.img == nil {
+		b.img = b.buildImage()
+	}
+	return b.img
+}
+
+func (b *Batch) buildImage() []byte {
+	out := make([]byte, 0, headerSize)
+	out = append(out, imageMagic...)
+	out = append(out, imageVersion, byte(b.variant))
+	out = appendU32(out, uint32(b.rows))
+	out = appendU32(out, uint32(b.cols))
+
+	switch b.variant {
+	case Full:
+		cols := make([]uint32, len(b.i))
+		vals := make([]float64, len(b.i))
+		for k, p := range b.i {
+			cols[k] = p.Col
+			vals[k] = p.Val
+		}
+		out = bitpack.Pack(cols).AppendTo(out)
+		out = bitpack.BuildValueIndex(vals).AppendTo(out)
+		out = bitpack.Pack(b.d.Nodes).AppendTo(out)
+		out = bitpack.Pack(b.d.Starts).AppendTo(out)
+
+	case SparseLogical:
+		out = appendU32(out, uint32(len(b.i)))
+		for _, p := range b.i {
+			out = appendU32(out, p.Col)
+			out = appendF64(out, p.Val)
+		}
+		out = appendU32(out, uint32(len(b.d.Nodes)))
+		for _, n := range b.d.Nodes {
+			out = appendU32(out, n)
+		}
+		for _, s := range b.d.Starts {
+			out = appendU32(out, s)
+		}
+
+	case SparseOnly:
+		out = appendU32(out, uint32(len(b.srCols)))
+		for _, s := range b.srStarts {
+			out = appendU32(out, s)
+		}
+		for _, c := range b.srCols {
+			out = appendU32(out, c)
+		}
+		for _, v := range b.srVals {
+			out = appendF64(out, v)
+		}
+	}
+	return out
+}
+
+// Deserialize reconstructs a Batch from a physical image produced by
+// Serialize, validating structural invariants so corrupt images return an
+// error rather than corrupting kernel execution.
+func Deserialize(img []byte) (*Batch, error) {
+	if len(img) < headerSize {
+		return nil, fmt.Errorf("core: image too short: %d bytes", len(img))
+	}
+	if string(img[:4]) != imageMagic {
+		return nil, fmt.Errorf("core: bad magic %q", img[:4])
+	}
+	if img[4] != imageVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", img[4])
+	}
+	v := Variant(img[5])
+	if v > SparseOnly {
+		return nil, fmt.Errorf("core: unknown variant %d", img[5])
+	}
+	b := &Batch{
+		rows:    int(binary.LittleEndian.Uint32(img[6:10])),
+		cols:    int(binary.LittleEndian.Uint32(img[10:14])),
+		variant: v,
+		img:     img,
+	}
+	// Bound dimensions so corrupt headers cannot trigger enormous
+	// allocations in Decode or the kernels.
+	const maxDim = 1 << 27
+	if b.rows > maxDim || b.cols > maxDim {
+		return nil, fmt.Errorf("core: implausible dims %dx%d", b.rows, b.cols)
+	}
+	buf := img[headerSize:]
+	var err error
+	switch v {
+	case Full:
+		err = b.parseFull(buf)
+	case SparseLogical:
+		err = b.parseSparseLogical(buf)
+	case SparseOnly:
+		err = b.parseSparseOnly(buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *Batch) parseFull(buf []byte) error {
+	colsArr, buf, err := bitpack.ReadArray(buf)
+	if err != nil {
+		return fmt.Errorf("core: I columns: %w", err)
+	}
+	vi, buf, err := bitpack.ReadValueIndex(buf)
+	if err != nil {
+		return fmt.Errorf("core: I values: %w", err)
+	}
+	vals := vi.Decode()
+	if colsArr.Len() != len(vals) {
+		return fmt.Errorf("core: I columns (%d) and values (%d) disagree", colsArr.Len(), len(vals))
+	}
+	b.i = make([]Pair, len(vals))
+	for k := range vals {
+		b.i[k] = Pair{Col: colsArr.Get(k), Val: vals[k]}
+	}
+	nodesArr, buf, err := bitpack.ReadArray(buf)
+	if err != nil {
+		return fmt.Errorf("core: D nodes: %w", err)
+	}
+	startsArr, buf, err := bitpack.ReadArray(buf)
+	if err != nil {
+		return fmt.Errorf("core: D starts: %w", err)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("core: %d trailing bytes", len(buf))
+	}
+	b.d = dTable{Nodes: nodesArr.Unpack(), Starts: startsArr.Unpack()}
+	return b.validateLogical()
+}
+
+func (b *Batch) parseSparseLogical(buf []byte) error {
+	lenI, buf, err := takeU32(buf)
+	if err != nil {
+		return fmt.Errorf("core: |I|: %w", err)
+	}
+	if len(buf) < int(lenI)*12 {
+		return fmt.Errorf("core: truncated I section")
+	}
+	b.i = make([]Pair, lenI)
+	for k := range b.i {
+		b.i[k] = Pair{
+			Col: binary.LittleEndian.Uint32(buf[k*12:]),
+			Val: math.Float64frombits(binary.LittleEndian.Uint64(buf[k*12+4:])),
+		}
+	}
+	buf = buf[lenI*12:]
+	lenN, buf, err := takeU32(buf)
+	if err != nil {
+		return fmt.Errorf("core: |D|: %w", err)
+	}
+	need := int(lenN)*4 + (b.rows+1)*4
+	if len(buf) != need {
+		return fmt.Errorf("core: D section is %d bytes, want %d", len(buf), need)
+	}
+	b.d = dTable{Nodes: make([]uint32, lenN), Starts: make([]uint32, b.rows+1)}
+	for k := range b.d.Nodes {
+		b.d.Nodes[k] = binary.LittleEndian.Uint32(buf[k*4:])
+	}
+	buf = buf[lenN*4:]
+	for k := range b.d.Starts {
+		b.d.Starts[k] = binary.LittleEndian.Uint32(buf[k*4:])
+	}
+	return b.validateLogical()
+}
+
+func (b *Batch) parseSparseOnly(buf []byte) error {
+	nnz, buf, err := takeU32(buf)
+	if err != nil {
+		return fmt.Errorf("core: nnz: %w", err)
+	}
+	need := (b.rows+1)*4 + int(nnz)*4 + int(nnz)*8
+	if len(buf) != need {
+		return fmt.Errorf("core: sparse section is %d bytes, want %d", len(buf), need)
+	}
+	b.srStarts = make([]uint32, b.rows+1)
+	for k := range b.srStarts {
+		b.srStarts[k] = binary.LittleEndian.Uint32(buf[k*4:])
+	}
+	buf = buf[(b.rows+1)*4:]
+	b.srCols = make([]uint32, nnz)
+	for k := range b.srCols {
+		b.srCols[k] = binary.LittleEndian.Uint32(buf[k*4:])
+	}
+	buf = buf[nnz*4:]
+	b.srVals = make([]float64, nnz)
+	for k := range b.srVals {
+		b.srVals[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[k*8:]))
+	}
+	// Validate.
+	prev := uint32(0)
+	for k, s := range b.srStarts {
+		if s < prev {
+			return fmt.Errorf("core: starts not monotone at %d", k)
+		}
+		prev = s
+	}
+	if b.srStarts[0] != 0 || b.srStarts[b.rows] != nnz {
+		return fmt.Errorf("core: starts endpoints invalid")
+	}
+	for k, c := range b.srCols {
+		if int(c) >= b.cols {
+			return fmt.Errorf("core: column index %d out of range %d at %d", c, b.cols, k)
+		}
+	}
+	return nil
+}
+
+// validateLogical checks the structural invariants of (I, D): column
+// indexes in range, starts well-formed, and every node index referencing
+// only nodes that exist at that point of the Algorithm-2 replay.
+func (b *Batch) validateLogical() error {
+	for k, p := range b.i {
+		if int(p.Col) >= b.cols {
+			return fmt.Errorf("core: I[%d] column %d out of range %d", k, p.Col, b.cols)
+		}
+	}
+	if len(b.d.Starts) != b.rows+1 {
+		return fmt.Errorf("core: starts length %d != rows+1 (%d)", len(b.d.Starts), b.rows+1)
+	}
+	prev := uint32(0)
+	for k, s := range b.d.Starts {
+		if s < prev {
+			return fmt.Errorf("core: starts not monotone at %d", k)
+		}
+		prev = s
+	}
+	if b.d.Starts[0] != 0 || int(b.d.Starts[b.rows]) != len(b.d.Nodes) {
+		return fmt.Errorf("core: starts endpoints invalid")
+	}
+	// Replay node creation: each of a tuple's elements except the last
+	// created exactly one node during encoding, so at element j of a tuple,
+	// nodes 1..len(I)+created+j are addressable (the +j admits references
+	// to nodes created earlier in the same tuple, including the
+	// self-referencing code pattern of repeated sequences).
+	created := 0
+	for r := 0; r < b.rows; r++ {
+		row := b.d.row(r)
+		for j, n := range row {
+			limit := len(b.i) + created + j
+			if n == 0 || int(n) > limit {
+				return fmt.Errorf("core: node index %d invalid at row %d pos %d (limit %d)", n, r, j, limit)
+			}
+		}
+		if len(row) > 0 {
+			created += len(row) - 1
+		}
+	}
+	return nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(dst, b[:]...)
+}
+
+func takeU32(buf []byte) (uint32, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, fmt.Errorf("truncated uint32")
+	}
+	return binary.LittleEndian.Uint32(buf), buf[4:], nil
+}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"testing"
+
+	"toc/internal/data"
+)
+
+// BenchmarkMulVecMnist measures A·v on the least TOC-friendly dataset
+// shape (mnist-like: large first layer, little sequence reuse).
+func BenchmarkMulVecMnist(b *testing.B) {
+	d, _ := data.Generate("mnist", 250, 1)
+	batch := Compress(d.X)
+	v := make([]float64, d.X.Cols())
+	for i := range v {
+		v[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.MulVec(v)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"toc/internal/matrix"
+)
+
+// Right multiplication operations: A·v (Algorithm 4, Theorem 1) and A·M
+// (Algorithm 7, Theorem 3). Both run directly on the TOC output: the
+// decode tree C' is built once, scanned once forward to evaluate
+// F(x) = C'[x].seq · v by dynamic programming over parent links
+// (Equation 6), then D is scanned once to sum F over each tuple's codes
+// (Equation 5).
+
+// MulVec computes A·v on the compressed batch.
+func (b *Batch) MulVec(v []float64) []float64 {
+	if len(v) != b.cols {
+		panic(fmt.Sprintf("core: MulVec dim mismatch %d != %d", len(v), b.cols))
+	}
+	r := make([]float64, b.rows)
+	if b.variant == SparseOnly {
+		for i := 0; i < b.rows; i++ {
+			var s float64
+			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+				s += b.srVals[k] * v[b.srCols[k]]
+			}
+			r[i] = s
+		}
+		return r
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	// Scan C' to compute H[i] = F(i) = C'[i].key·v + H[parent(i)]; parents
+	// precede children, so one forward pass suffices.
+	h := sc.floatBuf(t.Len())
+	for i := 1; i < t.Len(); i++ {
+		k := t.Key[i]
+		h[i] = k.Val*v[k.Col] + h[t.Parent[i]]
+	}
+	// Scan D to accumulate R[i] = Σ_j H[D[i][j]].
+	for i := 0; i < b.rows; i++ {
+		var s float64
+		for _, n := range b.d.row(i) {
+			s += h[n]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// MulMat computes A·M on the compressed batch, where M is cols × p.
+func (b *Batch) MulMat(m *matrix.Dense) *matrix.Dense {
+	if m.Rows() != b.cols {
+		panic(fmt.Sprintf("core: MulMat dim mismatch %d != %d", m.Rows(), b.cols))
+	}
+	p := m.Cols()
+	r := matrix.NewDense(b.rows, p)
+	if b.variant == SparseOnly {
+		for i := 0; i < b.rows; i++ {
+			ri := r.Row(i)
+			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+				val := b.srVals[k]
+				mrow := m.Row(int(b.srCols[k]))
+				for j, mv := range mrow {
+					ri[j] += val * mv
+				}
+			}
+		}
+		return r
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	// Scan C': H[i,:] = key.val * M[key.col,:] + H[parent,:].
+	h := sc.floatBuf(t.Len() * p)
+	for i := 1; i < t.Len(); i++ {
+		k := t.Key[i]
+		mrow := m.Row(int(k.Col))
+		hi := h[i*p : i*p+p]
+		hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
+		for j := range hi {
+			hi[j] = k.Val*mrow[j] + hp[j]
+		}
+	}
+	// Scan D once; the loop over result columns is innermost for cache
+	// friendliness, as the paper notes for Algorithm 7.
+	for i := 0; i < b.rows; i++ {
+		ri := r.Row(i)
+		for _, n := range b.d.row(i) {
+			hn := h[int(n)*p : int(n)*p+p]
+			for j := range ri {
+				ri[j] += hn[j]
+			}
+		}
+	}
+	return r
+}

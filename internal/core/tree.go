@@ -1,0 +1,46 @@
+package core
+
+// The encoding prefix tree of §3.1.1. Every node except the root stores a
+// column-index:value pair as its key and represents the sequence of keys on
+// the path from the root to itself. Node indexes are assigned from a
+// sequence number: the root takes 0, the first added node 1, and so on.
+//
+// GetIndex uses the standard technique the paper cites from Blelloch: a
+// hash map from (parent index, child key) to child index. A single shared
+// map replaces the per-node maps without changing behaviour.
+
+type childKey struct {
+	parent uint32
+	key    Pair
+}
+
+type encodeTree struct {
+	keys     []Pair // keys[i] is the key of node i; keys[0] (root) is unused
+	children map[childKey]uint32
+}
+
+func newEncodeTree() *encodeTree {
+	return &encodeTree{
+		keys:     make([]Pair, 1), // root occupies index 0
+		children: make(map[childKey]uint32),
+	}
+}
+
+// Len returns the number of nodes including the root.
+func (t *encodeTree) Len() int { return len(t.keys) }
+
+// AddNode creates a node with key k as a child of node n and returns its
+// index (the next sequence number).
+func (t *encodeTree) AddNode(n uint32, k Pair) uint32 {
+	idx := uint32(len(t.keys))
+	t.keys = append(t.keys, k)
+	t.children[childKey{parent: n, key: k}] = idx
+	return idx
+}
+
+// GetIndex looks up the child of node n with key k. The boolean reports
+// whether such a node exists (the paper's API returns -1 when it does not).
+func (t *encodeTree) GetIndex(n uint32, k Pair) (uint32, bool) {
+	idx, ok := t.children[childKey{parent: n, key: k}]
+	return idx, ok
+}

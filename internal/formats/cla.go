@@ -1,0 +1,27 @@
+package formats
+
+import (
+	"toc/internal/cla"
+	"toc/internal/matrix"
+)
+
+// CLA adapts the internal/cla compressed linear algebra implementation to
+// the CompressedMatrix interface.
+type CLA struct {
+	*cla.Matrix
+}
+
+func init() {
+	Register("CLA",
+		func(d *matrix.Dense) CompressedMatrix { return CLA{cla.Compress(d)} },
+		func(img []byte) (CompressedMatrix, error) {
+			m, err := cla.Deserialize(img)
+			if err != nil {
+				return nil, err
+			}
+			return CLA{m}, nil
+		})
+}
+
+// Scale computes A.*c by scaling the group dictionaries.
+func (c CLA) Scale(s float64) CompressedMatrix { return CLA{c.Matrix.Scale(s)} }

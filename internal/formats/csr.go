@@ -1,0 +1,164 @@
+package formats
+
+import (
+	"fmt"
+
+	"toc/internal/matrix"
+)
+
+// CSR is the standard compressed sparse row encoding: per row, only the
+// non-zero values and their column indexes are stored.
+type CSR struct {
+	rows, cols int
+	starts     []uint32
+	colIdx     []uint32
+	vals       []float64
+}
+
+func init() {
+	Register("CSR",
+		func(d *matrix.Dense) CompressedMatrix {
+			starts, cols, vals := csrParts(d)
+			return &CSR{rows: d.Rows(), cols: d.Cols(), starts: starts, colIdx: cols, vals: vals}
+		},
+		deserializeCSR)
+}
+
+// Serialize writes header, row starts, column indexes and values.
+func (e *CSR) Serialize() []byte {
+	out := putHeader(make([]byte, 0, e.CompressedSize()), magicCSR, e.rows, e.cols, len(e.vals))
+	out = appendU32s(out, e.starts)
+	out = appendU32s(out, e.colIdx)
+	return appendF64s(out, e.vals)
+}
+
+func deserializeCSR(img []byte) (CompressedMatrix, error) {
+	rows, cols, nnz, buf, err := readHeader(img, magicCSR)
+	if err != nil {
+		return nil, err
+	}
+	starts, buf, err := takeU32s(buf, rows+1)
+	if err != nil {
+		return nil, err
+	}
+	colIdx, buf, err := takeU32s(buf, nnz)
+	if err != nil {
+		return nil, err
+	}
+	vals, buf, err := takeF64s(buf, nnz)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("formats: CSR image has %d trailing bytes", len(buf))
+	}
+	if err := validateCSRParts(rows, cols, starts, colIdx, nnz); err != nil {
+		return nil, err
+	}
+	return &CSR{rows: rows, cols: cols, starts: starts, colIdx: colIdx, vals: vals}, nil
+}
+
+// Rows returns the number of tuples.
+func (e *CSR) Rows() int { return e.rows }
+
+// Cols returns the number of columns.
+func (e *CSR) Cols() int { return e.cols }
+
+// CompressedSize counts the header, row starts (4 B each), column indexes
+// (4 B each) and values (8 B each) — exactly len(Serialize()).
+func (e *CSR) CompressedSize() int {
+	return wireHeaderSize + 4*len(e.starts) + 4*len(e.colIdx) + 8*len(e.vals)
+}
+
+// Decode expands the sparse rows into a dense matrix.
+func (e *CSR) Decode() *matrix.Dense {
+	d := matrix.NewDense(e.rows, e.cols)
+	for i := 0; i < e.rows; i++ {
+		row := d.Row(i)
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			row[e.colIdx[k]] = e.vals[k]
+		}
+	}
+	return d
+}
+
+// Scale computes A.*c by scaling the stored non-zero values.
+func (e *CSR) Scale(c float64) CompressedMatrix {
+	vals := make([]float64, len(e.vals))
+	for i, v := range e.vals {
+		vals[i] = v * c
+	}
+	return &CSR{rows: e.rows, cols: e.cols, starts: e.starts, colIdx: e.colIdx, vals: vals}
+}
+
+// MulVec computes A·v with one pass over the non-zeros.
+func (e *CSR) MulVec(v []float64) []float64 {
+	if len(v) != e.cols {
+		panic(fmt.Sprintf("formats: CSR MulVec dim mismatch %d != %d", len(v), e.cols))
+	}
+	r := make([]float64, e.rows)
+	for i := 0; i < e.rows; i++ {
+		var s float64
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			s += e.vals[k] * v[e.colIdx[k]]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// VecMul computes v·A with one pass over the non-zeros.
+func (e *CSR) VecMul(v []float64) []float64 {
+	if len(v) != e.rows {
+		panic(fmt.Sprintf("formats: CSR VecMul dim mismatch %d != %d", len(v), e.rows))
+	}
+	r := make([]float64, e.cols)
+	for i := 0; i < e.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			r[e.colIdx[k]] += vi * e.vals[k]
+		}
+	}
+	return r
+}
+
+// MulMat computes A·M row by row over the non-zeros.
+func (e *CSR) MulMat(m *matrix.Dense) *matrix.Dense {
+	if m.Rows() != e.cols {
+		panic(fmt.Sprintf("formats: CSR MulMat dim mismatch %d != %d", m.Rows(), e.cols))
+	}
+	r := matrix.NewDense(e.rows, m.Cols())
+	for i := 0; i < e.rows; i++ {
+		ri := r.Row(i)
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			val := e.vals[k]
+			mrow := m.Row(int(e.colIdx[k]))
+			for j, mv := range mrow {
+				ri[j] += val * mv
+			}
+		}
+	}
+	return r
+}
+
+// MatMul computes M·A over the non-zeros.
+func (e *CSR) MatMul(m *matrix.Dense) *matrix.Dense {
+	if m.Cols() != e.rows {
+		panic(fmt.Sprintf("formats: CSR MatMul dim mismatch %d != %d", m.Cols(), e.rows))
+	}
+	p := m.Rows()
+	r := matrix.NewDense(p, e.cols)
+	for i := 0; i < e.rows; i++ {
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			col := int(e.colIdx[k])
+			val := e.vals[k]
+			for row := 0; row < p; row++ {
+				r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
+			}
+		}
+	}
+	return r
+}

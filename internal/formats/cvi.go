@@ -1,0 +1,200 @@
+package formats
+
+import (
+	"fmt"
+
+	"toc/internal/bitpack"
+	"toc/internal/matrix"
+)
+
+// CVI is CSR-VI (Kourtis et al., cited as [21]): CSR whose non-zero values
+// are dictionary-encoded with value indexing. The sparse-safe element-wise
+// ops touch only the dictionary, which is why CVI matches TOC on A.*c in
+// the paper's Figure 8.
+type CVI struct {
+	rows, cols int
+	starts     []uint32
+	colIdx     []uint32
+	valIdx     []uint32  // per-nonzero dictionary index
+	dict       []float64 // unique values
+	size       int       // cached len(Serialize())
+}
+
+func init() {
+	Register("CVI",
+		func(d *matrix.Dense) CompressedMatrix {
+			starts, cols, vals := csrParts(d)
+			vi := bitpack.BuildValueIndex(vals)
+			return &CVI{
+				rows: d.Rows(), cols: d.Cols(),
+				starts: starts, colIdx: cols,
+				valIdx: vi.Indexes(), dict: vi.Values(),
+			}
+		},
+		deserializeCVI)
+}
+
+// Serialize writes header, row starts, column indexes, the bit-packed
+// value indexes and the value dictionary.
+func (e *CVI) Serialize() []byte {
+	out := putHeader(make([]byte, 0, e.CompressedSize()), magicCVI, e.rows, e.cols, len(e.valIdx))
+	out = appendU32s(out, e.starts)
+	out = appendU32s(out, e.colIdx)
+	out = bitpack.Pack(e.valIdx).AppendTo(out)
+	out = appendU32s(out, []uint32{uint32(len(e.dict))})
+	return appendF64s(out, e.dict)
+}
+
+func deserializeCVI(img []byte) (CompressedMatrix, error) {
+	rows, cols, nnz, buf, err := readHeader(img, magicCVI)
+	if err != nil {
+		return nil, err
+	}
+	starts, buf, err := takeU32s(buf, rows+1)
+	if err != nil {
+		return nil, err
+	}
+	colIdx, buf, err := takeU32s(buf, nnz)
+	if err != nil {
+		return nil, err
+	}
+	idxArr, buf, err := bitpack.ReadArray(buf)
+	if err != nil {
+		return nil, err
+	}
+	cnt, buf, err := takeU32s(buf, 1)
+	if err != nil {
+		return nil, err
+	}
+	dict, buf, err := takeF64s(buf, int(cnt[0]))
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("formats: CVI image has %d trailing bytes", len(buf))
+	}
+	if err := validateCSRParts(rows, cols, starts, colIdx, nnz); err != nil {
+		return nil, err
+	}
+	valIdx := idxArr.Unpack()
+	if len(valIdx) != nnz {
+		return nil, fmt.Errorf("formats: CVI value indexes %d != nnz %d", len(valIdx), nnz)
+	}
+	for i, ix := range valIdx {
+		if int(ix) >= len(dict) {
+			return nil, fmt.Errorf("formats: CVI dict index %d out of range %d at %d", ix, len(dict), i)
+		}
+	}
+	return &CVI{rows: rows, cols: cols, starts: starts, colIdx: colIdx,
+		valIdx: valIdx, dict: dict, size: len(img)}, nil
+}
+
+// Rows returns the number of tuples.
+func (e *CVI) Rows() int { return e.rows }
+
+// Cols returns the number of columns.
+func (e *CVI) Cols() int { return e.cols }
+
+// CompressedSize counts the header, row starts, column indexes, the
+// bit-packed value indexes and the value dictionary — len(Serialize()).
+func (e *CVI) CompressedSize() int {
+	if e.size == 0 {
+		idxBytes := bitpack.Pack(e.valIdx).EncodedSize()
+		e.size = wireHeaderSize + 4*len(e.starts) + 4*len(e.colIdx) + idxBytes + 4 + 8*len(e.dict)
+	}
+	return e.size
+}
+
+// Decode expands to a dense matrix via dictionary lookups.
+func (e *CVI) Decode() *matrix.Dense {
+	d := matrix.NewDense(e.rows, e.cols)
+	for i := 0; i < e.rows; i++ {
+		row := d.Row(i)
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			row[e.colIdx[k]] = e.dict[e.valIdx[k]]
+		}
+	}
+	return d
+}
+
+// Scale computes A.*c by scaling only the value dictionary.
+func (e *CVI) Scale(c float64) CompressedMatrix {
+	dict := make([]float64, len(e.dict))
+	for i, v := range e.dict {
+		dict[i] = v * c
+	}
+	return &CVI{rows: e.rows, cols: e.cols, starts: e.starts,
+		colIdx: e.colIdx, valIdx: e.valIdx, dict: dict, size: e.size}
+}
+
+// MulVec computes A·v.
+func (e *CVI) MulVec(v []float64) []float64 {
+	if len(v) != e.cols {
+		panic(fmt.Sprintf("formats: CVI MulVec dim mismatch %d != %d", len(v), e.cols))
+	}
+	r := make([]float64, e.rows)
+	for i := 0; i < e.rows; i++ {
+		var s float64
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			s += e.dict[e.valIdx[k]] * v[e.colIdx[k]]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// VecMul computes v·A.
+func (e *CVI) VecMul(v []float64) []float64 {
+	if len(v) != e.rows {
+		panic(fmt.Sprintf("formats: CVI VecMul dim mismatch %d != %d", len(v), e.rows))
+	}
+	r := make([]float64, e.cols)
+	for i := 0; i < e.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			r[e.colIdx[k]] += vi * e.dict[e.valIdx[k]]
+		}
+	}
+	return r
+}
+
+// MulMat computes A·M.
+func (e *CVI) MulMat(m *matrix.Dense) *matrix.Dense {
+	if m.Rows() != e.cols {
+		panic(fmt.Sprintf("formats: CVI MulMat dim mismatch %d != %d", m.Rows(), e.cols))
+	}
+	r := matrix.NewDense(e.rows, m.Cols())
+	for i := 0; i < e.rows; i++ {
+		ri := r.Row(i)
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			val := e.dict[e.valIdx[k]]
+			mrow := m.Row(int(e.colIdx[k]))
+			for j, mv := range mrow {
+				ri[j] += val * mv
+			}
+		}
+	}
+	return r
+}
+
+// MatMul computes M·A.
+func (e *CVI) MatMul(m *matrix.Dense) *matrix.Dense {
+	if m.Cols() != e.rows {
+		panic(fmt.Sprintf("formats: CVI MatMul dim mismatch %d != %d", m.Cols(), e.rows))
+	}
+	p := m.Rows()
+	r := matrix.NewDense(p, e.cols)
+	for i := 0; i < e.rows; i++ {
+		for k := e.starts[i]; k < e.starts[i+1]; k++ {
+			col := int(e.colIdx[k])
+			val := e.dict[e.valIdx[k]]
+			for row := 0; row < p; row++ {
+				r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
+			}
+		}
+	}
+	return r
+}

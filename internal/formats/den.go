@@ -1,0 +1,52 @@
+package formats
+
+import "toc/internal/matrix"
+
+// DEN is the paper's uncompressed baseline: the matrix stored row by row,
+// each value in IEEE-754 double format. Operations run the plain dense
+// kernels.
+type DEN struct {
+	d *matrix.Dense
+}
+
+func init() {
+	Register("DEN",
+		func(d *matrix.Dense) CompressedMatrix { return &DEN{d: d.Clone()} },
+		func(img []byte) (CompressedMatrix, error) {
+			d, err := matrix.DeserializeDense(img)
+			if err != nil {
+				return nil, err
+			}
+			return &DEN{d: d}, nil
+		})
+}
+
+// Serialize returns the DEN binary image (row-major IEEE-754 doubles).
+func (e *DEN) Serialize() []byte { return e.d.Serialize() }
+
+// Rows returns the number of tuples.
+func (e *DEN) Rows() int { return e.d.Rows() }
+
+// Cols returns the number of columns.
+func (e *DEN) Cols() int { return e.d.Cols() }
+
+// CompressedSize returns the DEN binary size (header + 8 bytes per value).
+func (e *DEN) CompressedSize() int { return e.d.SerializedSize() }
+
+// Decode returns a copy of the stored matrix.
+func (e *DEN) Decode() *matrix.Dense { return e.d.Clone() }
+
+// Scale computes A.*c.
+func (e *DEN) Scale(c float64) CompressedMatrix { return &DEN{d: e.d.Scale(c)} }
+
+// MulVec computes A·v.
+func (e *DEN) MulVec(v []float64) []float64 { return e.d.MulVec(v) }
+
+// VecMul computes v·A.
+func (e *DEN) VecMul(v []float64) []float64 { return e.d.VecMul(v) }
+
+// MulMat computes A·M.
+func (e *DEN) MulMat(m *matrix.Dense) *matrix.Dense { return e.d.MulMat(m) }
+
+// MatMul computes M·A.
+func (e *DEN) MatMul(m *matrix.Dense) *matrix.Dense { return e.d.MatMul(m) }

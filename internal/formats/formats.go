@@ -1,0 +1,135 @@
+// Package formats provides the compared mini-batch encoding methods of the
+// paper's §5 evaluation behind one interface: the DEN baseline, the
+// light-weight matrix compression schemes CSR, CVI (CSR-VI), DVI and CLA,
+// the general compression schemes Snappy and Gzip, and TOC itself
+// (including its ablation variants).
+//
+// Light-weight schemes and TOC execute matrix operations directly on the
+// encoded data; the general schemes must decompress the whole mini-batch
+// before every operation — exactly the decompression overhead the paper
+// measures.
+package formats
+
+import (
+	"fmt"
+	"sort"
+
+	"toc/internal/matrix"
+)
+
+// CompressedMatrix is the contract every mini-batch encoding implements.
+type CompressedMatrix interface {
+	// Rows returns the number of tuples in the mini-batch.
+	Rows() int
+	// Cols returns the number of columns of the original matrix.
+	Cols() int
+	// CompressedSize returns the encoded size in bytes — exactly
+	// len(Serialize()) — the quantity the paper's compression ratios and
+	// memory budgets are based on.
+	CompressedSize() int
+	// Serialize returns the wire image of the encoded mini-batch; the
+	// scheme's registered Decoder inverts it.
+	Serialize() []byte
+	// Decode losslessly reconstructs the original dense mini-batch.
+	Decode() *matrix.Dense
+	// Scale computes the sparse-safe element-wise A.*c.
+	Scale(c float64) CompressedMatrix
+	// MulVec computes A·v.
+	MulVec(v []float64) []float64
+	// VecMul computes v·A.
+	VecMul(v []float64) []float64
+	// MulMat computes A·M.
+	MulMat(m *matrix.Dense) *matrix.Dense
+	// MatMul computes M·A.
+	MatMul(m *matrix.Dense) *matrix.Dense
+}
+
+// Encoder compresses a dense mini-batch with one scheme.
+type Encoder func(*matrix.Dense) CompressedMatrix
+
+// Decoder reconstructs a compressed mini-batch from its wire image.
+type Decoder func([]byte) (CompressedMatrix, error)
+
+// Codec pairs a scheme's encoder with its wire decoder.
+type Codec struct {
+	Encode Encoder
+	Decode Decoder
+}
+
+var registry = map[string]Codec{}
+
+// Register adds a codec under the given method name. It is called from
+// init functions of this package and of scheme packages (e.g. CLA, TOC).
+func Register(name string, enc Encoder, dec Decoder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("formats: duplicate method %q", name))
+	}
+	registry[name] = Codec{Encode: enc, Decode: dec}
+}
+
+// Get returns the encoder registered under name.
+func Get(name string) (Encoder, bool) {
+	c, ok := registry[name]
+	return c.Encode, ok
+}
+
+// MustGet returns the encoder registered under name, panicking if missing.
+func MustGet(name string) Encoder {
+	c, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("formats: unknown method %q", name))
+	}
+	return c.Encode
+}
+
+// GetCodec returns the full codec registered under name.
+func GetCodec(name string) (Codec, bool) {
+	c, ok := registry[name]
+	return c, ok
+}
+
+// MustGetCodec returns the codec registered under name, panicking if
+// missing.
+func MustGetCodec(name string) Codec {
+	c, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("formats: unknown method %q", name))
+	}
+	return c
+}
+
+// Names returns all registered method names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperMethods lists the seven compared methods plus TOC in the order the
+// paper's figures use.
+func PaperMethods() []string {
+	return []string{"DEN", "CSR", "CVI", "DVI", "CLA", "Snappy", "Gzip", "TOC"}
+}
+
+// csrParts extracts CSR arrays from a dense matrix; shared by CSR and CVI.
+func csrParts(d *matrix.Dense) (starts []uint32, cols []uint32, vals []float64) {
+	rows := d.Rows()
+	starts = make([]uint32, rows+1)
+	nnz := d.NNZ()
+	cols = make([]uint32, 0, nnz)
+	vals = make([]float64, 0, nnz)
+	for i := 0; i < rows; i++ {
+		starts[i] = uint32(len(cols))
+		for j, v := range d.Row(i) {
+			if v != 0 {
+				cols = append(cols, uint32(j))
+				vals = append(vals, v)
+			}
+		}
+	}
+	starts[rows] = uint32(len(cols))
+	return starts, cols, vals
+}

@@ -1,0 +1,155 @@
+package formats
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"toc/internal/matrix"
+	"toc/internal/snappy"
+)
+
+// The general compression schemes (GC): the serialized DEN bytes are
+// compressed as an opaque blob. Every matrix operation must decompress the
+// whole mini-batch first — the decompression overhead that makes GC a poor
+// fit for MGD (paper Figure 1B and §5.2).
+
+// gcCodec abstracts the byte compressor a gcMatrix uses.
+type gcCodec interface {
+	name() string
+	compress([]byte) []byte
+	decompress([]byte) ([]byte, error)
+}
+
+// gcMatrix is a mini-batch stored as compressed DEN bytes.
+type gcMatrix struct {
+	rows, cols int
+	codec      gcCodec
+	blob       []byte
+}
+
+func init() {
+	Register("Gzip",
+		func(d *matrix.Dense) CompressedMatrix { return newGC(d, gzipCodec{}) },
+		func(img []byte) (CompressedMatrix, error) { return deserializeGC(img, magicGzip, gzipCodec{}) })
+	Register("Snappy",
+		func(d *matrix.Dense) CompressedMatrix { return newGC(d, snappyCodec{}) },
+		func(img []byte) (CompressedMatrix, error) { return deserializeGC(img, magicSnappy, snappyCodec{}) })
+}
+
+func newGC(d *matrix.Dense, c gcCodec) *gcMatrix {
+	return &gcMatrix{rows: d.Rows(), cols: d.Cols(), codec: c, blob: c.compress(d.Serialize())}
+}
+
+func (e *gcMatrix) magic() byte {
+	if e.codec.name() == "Gzip" {
+		return magicGzip
+	}
+	return magicSnappy
+}
+
+// Serialize writes a header plus the compressed DEN blob.
+func (e *gcMatrix) Serialize() []byte {
+	out := putHeader(make([]byte, 0, wireHeaderSize+len(e.blob)), e.magic(), e.rows, e.cols, len(e.blob))
+	return append(out, e.blob...)
+}
+
+func deserializeGC(img []byte, magic byte, c gcCodec) (CompressedMatrix, error) {
+	rows, cols, blobLen, buf, err := readHeader(img, magic)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != blobLen {
+		return nil, fmt.Errorf("formats: %s blob is %d bytes, want %d", c.name(), len(buf), blobLen)
+	}
+	e := &gcMatrix{rows: rows, cols: cols, codec: c, blob: append([]byte(nil), buf...)}
+	// Validate eagerly so corrupt images error here instead of panicking
+	// inside a later matrix operation.
+	raw, err := c.decompress(e.blob)
+	if err != nil {
+		return nil, fmt.Errorf("formats: %s payload: %w", c.name(), err)
+	}
+	d, err := matrix.DeserializeDense(raw)
+	if err != nil {
+		return nil, fmt.Errorf("formats: %s payload: %w", c.name(), err)
+	}
+	if d.Rows() != rows || d.Cols() != cols {
+		return nil, fmt.Errorf("formats: %s payload dims %dx%d != header %dx%d",
+			c.name(), d.Rows(), d.Cols(), rows, cols)
+	}
+	return e, nil
+}
+
+// Rows returns the number of tuples.
+func (e *gcMatrix) Rows() int { return e.rows }
+
+// Cols returns the number of columns.
+func (e *gcMatrix) Cols() int { return e.cols }
+
+// CompressedSize returns the wire size (header + compressed blob).
+func (e *gcMatrix) CompressedSize() int { return wireHeaderSize + len(e.blob) }
+
+// Decode decompresses the blob and deserializes the DEN bytes.
+func (e *gcMatrix) Decode() *matrix.Dense {
+	raw, err := e.codec.decompress(e.blob)
+	if err != nil {
+		panic(fmt.Sprintf("formats: %s decompress: %v", e.codec.name(), err))
+	}
+	d, err := matrix.DeserializeDense(raw)
+	if err != nil {
+		panic(fmt.Sprintf("formats: %s payload: %v", e.codec.name(), err))
+	}
+	return d
+}
+
+// Scale decompresses, scales and recompresses — GC has no direct path even
+// for sparse-safe ops.
+func (e *gcMatrix) Scale(c float64) CompressedMatrix {
+	return newGC(e.Decode().Scale(c), e.codec)
+}
+
+// MulVec decompresses, then runs the dense kernel.
+func (e *gcMatrix) MulVec(v []float64) []float64 { return e.Decode().MulVec(v) }
+
+// VecMul decompresses, then runs the dense kernel.
+func (e *gcMatrix) VecMul(v []float64) []float64 { return e.Decode().VecMul(v) }
+
+// MulMat decompresses, then runs the dense kernel.
+func (e *gcMatrix) MulMat(m *matrix.Dense) *matrix.Dense { return e.Decode().MulMat(m) }
+
+// MatMul decompresses, then runs the dense kernel.
+func (e *gcMatrix) MatMul(m *matrix.Dense) *matrix.Dense { return e.Decode().MatMul(m) }
+
+type gzipCodec struct{}
+
+func (gzipCodec) name() string { return "Gzip" }
+
+func (gzipCodec) compress(b []byte) []byte {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	if _, err := w.Write(b); err != nil {
+		panic(fmt.Sprintf("formats: gzip write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("formats: gzip close: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func (gzipCodec) decompress(b []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+type snappyCodec struct{}
+
+func (snappyCodec) name() string { return "Snappy" }
+
+func (snappyCodec) compress(b []byte) []byte { return snappy.Encode(b) }
+
+func (snappyCodec) decompress(b []byte) ([]byte, error) { return snappy.Decode(b) }

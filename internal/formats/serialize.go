@@ -1,0 +1,116 @@
+package formats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Shared little-endian wire helpers. Every scheme's image starts with a
+// 16-byte header: one magic byte identifying the scheme, three reserved
+// bytes, rows u32, cols u32, and a scheme-specific u32 (usually nnz).
+
+const wireHeaderSize = 16
+
+const (
+	magicCSR    = 0x11
+	magicCVI    = 0x12
+	magicDVI    = 0x13
+	magicGzip   = 0x14
+	magicSnappy = 0x15
+)
+
+func putHeader(dst []byte, magic byte, rows, cols, extra int) []byte {
+	var h [wireHeaderSize]byte
+	h[0] = magic
+	binary.LittleEndian.PutUint32(h[4:8], uint32(rows))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(cols))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(extra))
+	return append(dst, h[:]...)
+}
+
+// maxWireDim bounds deserialized dimensions so corrupt headers cannot
+// trigger enormous allocations downstream.
+const maxWireDim = 1 << 27
+
+func readHeader(img []byte, magic byte) (rows, cols, extra int, rest []byte, err error) {
+	if len(img) < wireHeaderSize {
+		return 0, 0, 0, nil, fmt.Errorf("formats: image too short: %d bytes", len(img))
+	}
+	if img[0] != magic {
+		return 0, 0, 0, nil, fmt.Errorf("formats: wrong magic %#x, want %#x", img[0], magic)
+	}
+	rows = int(binary.LittleEndian.Uint32(img[4:8]))
+	cols = int(binary.LittleEndian.Uint32(img[8:12]))
+	extra = int(binary.LittleEndian.Uint32(img[12:16]))
+	if rows > maxWireDim || cols > maxWireDim {
+		return 0, 0, 0, nil, fmt.Errorf("formats: implausible dims %dx%d", rows, cols)
+	}
+	return rows, cols, extra, img[wireHeaderSize:], nil
+}
+
+func appendU32s(dst []byte, vals []uint32) []byte {
+	for _, v := range vals {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func appendF64s(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func takeU32s(buf []byte, n int) ([]uint32, []byte, error) {
+	if len(buf) < 4*n {
+		return nil, nil, fmt.Errorf("formats: truncated u32 section: have %d, need %d", len(buf), 4*n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return out, buf[4*n:], nil
+}
+
+func takeF64s(buf []byte, n int) ([]float64, []byte, error) {
+	if len(buf) < 8*n {
+		return nil, nil, fmt.Errorf("formats: truncated f64 section: have %d, need %d", len(buf), 8*n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, buf[8*n:], nil
+}
+
+// validateCSRParts checks the shared invariants of CSR-shaped arrays.
+func validateCSRParts(rows, cols int, starts, colIdx []uint32, nnz int) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("formats: negative dims %dx%d", rows, cols)
+	}
+	if len(starts) != rows+1 {
+		return fmt.Errorf("formats: starts length %d != rows+1", len(starts))
+	}
+	prev := uint32(0)
+	for i, s := range starts {
+		if s < prev {
+			return fmt.Errorf("formats: starts not monotone at %d", i)
+		}
+		prev = s
+	}
+	if starts[0] != 0 || int(starts[rows]) != nnz {
+		return fmt.Errorf("formats: starts endpoints invalid")
+	}
+	for i, c := range colIdx {
+		if int(c) >= cols {
+			return fmt.Errorf("formats: column %d out of range %d at %d", c, cols, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package formats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every scheme must serialize to exactly CompressedSize bytes and round
+// trip through its registered decoder.
+func TestWireRoundTripAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := redundantMatrix(rng, 45, 18, 0.4, 4)
+	for _, name := range Names() {
+		codec := MustGetCodec(name)
+		c := codec.Encode(a)
+		img := c.Serialize()
+		if len(img) != c.CompressedSize() {
+			t.Errorf("%s: image %d bytes != CompressedSize %d", name, len(img), c.CompressedSize())
+		}
+		got, err := codec.Decode(img)
+		if err != nil {
+			t.Errorf("%s: decode: %v", name, err)
+			continue
+		}
+		if got.Rows() != 45 || got.Cols() != 18 {
+			t.Errorf("%s: round-trip dims %dx%d", name, got.Rows(), got.Cols())
+		}
+		if !got.Decode().Equal(a) {
+			t.Errorf("%s: round-trip matrix mismatch", name)
+		}
+		if got.CompressedSize() != c.CompressedSize() {
+			t.Errorf("%s: round-trip size %d != %d", name, got.CompressedSize(), c.CompressedSize())
+		}
+	}
+}
+
+// Decoders must reject images of the wrong scheme and truncations.
+func TestWireRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := redundantMatrix(rng, 20, 10, 0.5, 3)
+	images := map[string][]byte{}
+	for _, name := range Names() {
+		images[name] = MustGetCodec(name).Encode(a).Serialize()
+	}
+	for _, name := range Names() {
+		codec := MustGetCodec(name)
+		if _, err := codec.Decode(nil); err == nil {
+			t.Errorf("%s: nil image should error", name)
+		}
+		img := images[name]
+		for cut := 1; cut < len(img); cut += 97 {
+			if _, err := codec.Decode(img[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d should error", name, cut)
+				break
+			}
+		}
+		// Cross-scheme confusion: feed every other scheme's image.
+		for other, oimg := range images {
+			if other == name || isTOCFamily(name) && isTOCFamily(other) {
+				continue
+			}
+			if _, err := codec.Decode(oimg); err == nil {
+				t.Errorf("%s: accepted a %s image", name, other)
+			}
+		}
+	}
+}
+
+func isTOCFamily(name string) bool {
+	switch name {
+	case "TOC", "TOC_FULL", "TOC_SPARSE", "TOC_SPARSE_AND_LOGICAL":
+		return true
+	}
+	return false
+}
+
+// Single-byte flips must never panic in Decode (error or valid parse only).
+func TestWireByteFlipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := redundantMatrix(rng, 12, 6, 0.5, 3)
+	for _, name := range Names() {
+		codec := MustGetCodec(name)
+		img := codec.Encode(a).Serialize()
+		step := 1
+		if len(img) > 600 {
+			step = len(img) / 300
+		}
+		for pos := 0; pos < len(img); pos += step {
+			bad := append([]byte(nil), img...)
+			bad[pos] ^= 0xff
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic at byte %d: %v", name, pos, r)
+					}
+				}()
+				c, err := codec.Decode(bad)
+				if err == nil {
+					c.Decode()
+				}
+			}()
+		}
+	}
+}

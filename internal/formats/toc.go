@@ -1,0 +1,39 @@
+package formats
+
+import (
+	"toc/internal/core"
+	"toc/internal/matrix"
+)
+
+// TOC adapts core.Batch (the paper's contribution) to the CompressedMatrix
+// interface, together with the ablation variants of Figures 6 and 10.
+type TOC struct {
+	*core.Batch
+}
+
+// deserializeTOC decodes any TOC variant (the image self-describes it).
+func deserializeTOC(img []byte) (CompressedMatrix, error) {
+	b, err := core.Deserialize(img)
+	if err != nil {
+		return nil, err
+	}
+	return TOC{b}, nil
+}
+
+func init() {
+	Register("TOC", func(d *matrix.Dense) CompressedMatrix {
+		return TOC{core.Compress(d)}
+	}, deserializeTOC)
+	Register("TOC_SPARSE", func(d *matrix.Dense) CompressedMatrix {
+		return TOC{core.CompressVariant(d, core.SparseOnly)}
+	}, deserializeTOC)
+	Register("TOC_SPARSE_AND_LOGICAL", func(d *matrix.Dense) CompressedMatrix {
+		return TOC{core.CompressVariant(d, core.SparseLogical)}
+	}, deserializeTOC)
+	Register("TOC_FULL", func(d *matrix.Dense) CompressedMatrix {
+		return TOC{core.CompressVariant(d, core.Full)}
+	}, deserializeTOC)
+}
+
+// Scale computes A.*c via Algorithm 3, adapting the concrete return type.
+func (t TOC) Scale(c float64) CompressedMatrix { return TOC{t.Batch.Scale(c)} }

@@ -1,0 +1,55 @@
+package matrix
+
+import "fmt"
+
+// Im2Col implements the image-to-column transform the paper's §6 proposes
+// for applying TOC to convolutional neural networks: every kh × kw sliding
+// window of a h × w image becomes one row of the output (stride 1, no
+// padding), so convolution with a kernel is the matrix-vector product
+// Im2Col(img) · vec(kernel). The replication duplicates pixels across
+// windows, which is exactly the cross-row redundancy TOC exploits — the
+// paper predicts (and the Im2Col bench confirms) higher compression ratios
+// on the replicated matrix.
+//
+// img is a h × w matrix; the result has (h-kh+1)*(w-kw+1) rows and kh*kw
+// columns, window pixels in row-major order.
+func Im2Col(img *Dense, kh, kw int) *Dense {
+	h, w := img.Rows(), img.Cols()
+	if kh < 1 || kw < 1 || kh > h || kw > w {
+		panic(fmt.Sprintf("matrix: Im2Col kernel %dx%d does not fit image %dx%d", kh, kw, h, w))
+	}
+	outRows := (h - kh + 1) * (w - kw + 1)
+	out := NewDense(outRows, kh*kw)
+	r := 0
+	for y := 0; y+kh <= h; y++ {
+		for x := 0; x+kw <= w; x++ {
+			row := out.Row(r)
+			for dy := 0; dy < kh; dy++ {
+				copy(row[dy*kw:(dy+1)*kw], img.Row(y + dy)[x:x+kw])
+			}
+			r++
+		}
+	}
+	return out
+}
+
+// Conv2DDense convolves img with a kh × kw kernel (stride 1, no padding)
+// using plain dense arithmetic; it is the ground truth for the Im2Col +
+// compressed-MulVec path.
+func Conv2DDense(img *Dense, kernel *Dense) *Dense {
+	kh, kw := kernel.Rows(), kernel.Cols()
+	h, w := img.Rows(), img.Cols()
+	out := NewDense(h-kh+1, w-kw+1)
+	for y := 0; y < out.Rows(); y++ {
+		for x := 0; x < out.Cols(); x++ {
+			var s float64
+			for dy := 0; dy < kh; dy++ {
+				for dx := 0; dx < kw; dx++ {
+					s += img.At(y+dy, x+dx) * kernel.At(dy, dx)
+				}
+			}
+			out.Set(y, x, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIm2ColShape(t *testing.T) {
+	img := NewDense(5, 6)
+	out := Im2Col(img, 3, 2)
+	if out.Rows() != 3*5 || out.Cols() != 6 {
+		t.Fatalf("shape = %dx%d, want 15x6", out.Rows(), out.Cols())
+	}
+}
+
+func TestIm2ColContent(t *testing.T) {
+	img := NewDenseFromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	out := Im2Col(img, 2, 2)
+	// windows row-major: (0,0) (0,1) (1,0) (1,1)
+	want := NewDenseFromRows([][]float64{
+		{1, 2, 4, 5},
+		{2, 3, 5, 6},
+		{4, 5, 7, 8},
+		{5, 6, 8, 9},
+	})
+	if !out.Equal(want) {
+		t.Fatalf("Im2Col = %v, want %v", out, want)
+	}
+}
+
+// §6 claim: convolution == Im2Col(img)·vec(kernel), for any image/kernel.
+func TestIm2ColConvEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := 3+rng.Intn(8), 3+rng.Intn(8)
+		kh, kw := 1+rng.Intn(3), 1+rng.Intn(3)
+		img := NewDense(h, w)
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				img.Set(i, j, math.Round(rng.NormFloat64()*4)/4)
+			}
+		}
+		kernel := NewDense(kh, kw)
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				kernel.Set(i, j, rng.NormFloat64())
+			}
+		}
+		vec := make([]float64, kh*kw)
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				vec[i*kw+j] = kernel.At(i, j)
+			}
+		}
+		got := Im2Col(img, kh, kw).MulVec(vec)
+		want := Conv2DDense(img, kernel)
+		idx := 0
+		for y := 0; y < want.Rows(); y++ {
+			for x := 0; x < want.Cols(); x++ {
+				if math.Abs(got[idx]-want.At(y, x)) > 1e-9 {
+					return false
+				}
+				idx++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColBadKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized kernel")
+		}
+	}()
+	Im2Col(NewDense(3, 3), 4, 1)
+}

@@ -1,0 +1,206 @@
+package matrix
+
+import "fmt"
+
+// The functions in this file are the uncompressed execution techniques the
+// paper calls DEN: plain dense kernels used both as the DEN baseline and as
+// the ground truth that every compressed kernel is tested against.
+
+// MulVec computes A·v for a dense A, returning a new vector of length Rows.
+func (d *Dense) MulVec(v []float64) []float64 {
+	if len(v) != d.cols {
+		panic(fmt.Sprintf("matrix: MulVec dim mismatch %d != %d", len(v), d.cols))
+	}
+	r := make([]float64, d.rows)
+	for i := 0; i < d.rows; i++ {
+		row := d.Row(i)
+		var s float64
+		for j, a := range row {
+			s += a * v[j]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// VecMul computes v·A for a dense A, returning a new vector of length Cols.
+func (d *Dense) VecMul(v []float64) []float64 {
+	if len(v) != d.rows {
+		panic(fmt.Sprintf("matrix: VecMul dim mismatch %d != %d", len(v), d.rows))
+	}
+	r := make([]float64, d.cols)
+	for i := 0; i < d.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := d.Row(i)
+		for j, a := range row {
+			r[j] += vi * a
+		}
+	}
+	return r
+}
+
+// MulMat computes A·M, where M is cols x p. The result is rows x p.
+func (d *Dense) MulMat(m *Dense) *Dense {
+	if d.cols != m.rows {
+		panic(fmt.Sprintf("matrix: MulMat dim mismatch %d != %d", d.cols, m.rows))
+	}
+	r := NewDense(d.rows, m.cols)
+	for i := 0; i < d.rows; i++ {
+		ri := r.Row(i)
+		ai := d.Row(i)
+		for k, a := range ai {
+			if a == 0 {
+				continue
+			}
+			mk := m.Row(k)
+			for j, b := range mk {
+				ri[j] += a * b
+			}
+		}
+	}
+	return r
+}
+
+// MatMul computes M·A, where M is p x rows. The result is p x cols.
+func (d *Dense) MatMul(m *Dense) *Dense {
+	if m.cols != d.rows {
+		panic(fmt.Sprintf("matrix: MatMul dim mismatch %d != %d", m.cols, d.rows))
+	}
+	r := NewDense(m.rows, d.cols)
+	for i := 0; i < m.rows; i++ {
+		ri := r.Row(i)
+		mi := m.Row(i)
+		for k, b := range mi {
+			if b == 0 {
+				continue
+			}
+			ak := d.Row(k)
+			for j, a := range ak {
+				ri[j] += b * a
+			}
+		}
+	}
+	return r
+}
+
+// Scale returns a new matrix c*A (the sparse-safe element-wise A.*c).
+func (d *Dense) Scale(c float64) *Dense {
+	r := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		r.data[i] = v * c
+	}
+	return r
+}
+
+// ScaleInPlace multiplies every element by c in place.
+func (d *Dense) ScaleInPlace(c float64) {
+	for i := range d.data {
+		d.data[i] *= c
+	}
+}
+
+// AddScalar returns a new matrix A.+c (the sparse-unsafe element-wise op).
+func (d *Dense) AddScalar(c float64) *Dense {
+	r := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		r.data[i] = v + c
+	}
+	return r
+}
+
+// Add returns a new matrix A+B.
+func (d *Dense) Add(o *Dense) *Dense {
+	if d.rows != o.rows || d.cols != o.cols {
+		panic(fmt.Sprintf("matrix: Add shape mismatch %dx%d vs %dx%d", d.rows, d.cols, o.rows, o.cols))
+	}
+	r := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		r.data[i] = v + o.data[i]
+	}
+	return r
+}
+
+// Sub returns a new matrix A-B.
+func (d *Dense) Sub(o *Dense) *Dense {
+	if d.rows != o.rows || d.cols != o.cols {
+		panic(fmt.Sprintf("matrix: Sub shape mismatch %dx%d vs %dx%d", d.rows, d.cols, o.rows, o.cols))
+	}
+	r := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		r.data[i] = v - o.data[i]
+	}
+	return r
+}
+
+// AddInPlace adds o into d element-wise.
+func (d *Dense) AddInPlace(o *Dense) {
+	if d.rows != o.rows || d.cols != o.cols {
+		panic(fmt.Sprintf("matrix: AddInPlace shape mismatch %dx%d vs %dx%d", d.rows, d.cols, o.rows, o.cols))
+	}
+	for i, v := range o.data {
+		d.data[i] += v
+	}
+}
+
+// AddScaledInPlace adds c*o into d element-wise (axpy).
+func (d *Dense) AddScaledInPlace(c float64, o *Dense) {
+	if d.rows != o.rows || d.cols != o.cols {
+		panic(fmt.Sprintf("matrix: AddScaledInPlace shape mismatch %dx%d vs %dx%d", d.rows, d.cols, o.rows, o.cols))
+	}
+	for i, v := range o.data {
+		d.data[i] += c * v
+	}
+}
+
+// Apply returns a new matrix with f applied to every element.
+func (d *Dense) Apply(f func(float64) float64) *Dense {
+	r := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		r.data[i] = f(v)
+	}
+	return r
+}
+
+// ApplyInPlace applies f to every element in place.
+func (d *Dense) ApplyInPlace(f func(float64) float64) {
+	for i, v := range d.data {
+		d.data[i] = f(v)
+	}
+}
+
+// MulElem returns the Hadamard (element-wise) product A.*B.
+func (d *Dense) MulElem(o *Dense) *Dense {
+	if d.rows != o.rows || d.cols != o.cols {
+		panic(fmt.Sprintf("matrix: MulElem shape mismatch %dx%d vs %dx%d", d.rows, d.cols, o.rows, o.cols))
+	}
+	r := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		r.data[i] = v * o.data[i]
+	}
+	return r
+}
+
+// Dot computes the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst += c*src for equal-length vectors.
+func Axpy(dst []float64, c float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("matrix: Axpy length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += c * v
+	}
+}

@@ -1,0 +1,51 @@
+// Package ml implements the paper's §2.1 machine-learning training setting:
+// empirical risk minimization with mini-batch stochastic gradient descent
+// (MGD) for the four evaluated models — linear regression, logistic
+// regression, linear SVM and a feed-forward neural network.
+//
+// Every gradient is expressed through the core matrix operations of Table
+// 1 (A·v, v·A, A·M, M·A) applied to the *compressed* mini-batch, so any
+// scheme implementing formats.CompressedMatrix trains identically; the
+// schemes differ only in speed and size. MGD covers the whole gradient
+// descent spectrum (§2.1.2): batch size 1 is SGD and batch size |S| is BGD.
+package ml
+
+import (
+	"math"
+
+	"toc/internal/formats"
+)
+
+// Model is one empirical-risk model trained by mini-batch gradient steps.
+type Model interface {
+	// Step computes the averaged mini-batch gradient (Equation 2) on
+	// (x, y), updates the parameters with learning rate lr, and returns
+	// the mini-batch loss evaluated before the update.
+	Step(x formats.CompressedMatrix, y []float64, lr float64) float64
+	// Loss evaluates the mean loss on a batch without updating.
+	Loss(x formats.CompressedMatrix, y []float64) float64
+	// Predict returns predicted labels: class ids for classifiers,
+	// real-valued outputs for regression.
+	Predict(x formats.CompressedMatrix) []float64
+}
+
+func sigmoid(z float64) float64 {
+	// Numerically stable on both tails.
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// clampProb keeps probabilities away from 0/1 so cross-entropy stays finite.
+func clampProb(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

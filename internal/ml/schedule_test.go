@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"toc/internal/data"
+	"toc/internal/formats"
+)
+
+func TestSchedules(t *testing.T) {
+	c := ConstantLR(0.5)
+	if c(0) != 0.5 || c(99) != 0.5 {
+		t.Fatal("ConstantLR wrong")
+	}
+	s := StepDecayLR(1.0, 2)
+	for _, tc := range []struct {
+		epoch int
+		want  float64
+	}{{0, 1}, {1, 1}, {2, 0.5}, {3, 0.5}, {4, 0.25}} {
+		if got := s(tc.epoch); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("StepDecayLR(%d) = %v, want %v", tc.epoch, got, tc.want)
+		}
+	}
+	if StepDecayLR(1, 0)(5) <= 0 {
+		t.Fatal("StepDecayLR with every<=0 must stay positive")
+	}
+	inv := InverseDecayLR(1.0, 1.0)
+	if math.Abs(inv(0)-1) > 1e-12 || math.Abs(inv(1)-0.5) > 1e-12 {
+		t.Fatal("InverseDecayLR wrong")
+	}
+}
+
+func TestTrainScheduleMatchesTrainForConstant(t *testing.T) {
+	d, _ := data.Generate("census", 300, 21)
+	d.ShuffleOnce(22)
+	a := NewLogReg(d.X.Cols())
+	b := NewLogReg(d.X.Cols())
+	src := NewMemorySource(d, 50, formats.MustGet("TOC"))
+	Train(a, src, 3, 0.3, nil)
+	TrainSchedule(b, src, 3, ConstantLR(0.3), nil)
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("constant schedule must equal plain Train")
+		}
+	}
+}
+
+func TestMomentumMatchesManualRecurrence(t *testing.T) {
+	d, _ := data.Generate("census", 200, 23)
+	d.ShuffleOnce(24)
+	src := NewMemorySource(d, 50, formats.MustGet("DEN"))
+
+	// Reference: manual heavy-ball on a parallel plain model.
+	ref := NewLogReg(d.X.Cols())
+	vel := make([]float64, d.X.Cols()+1)
+	const mu, lr = 0.9, 0.2
+	for i := 0; i < src.NumBatches(); i++ {
+		x, y := src.Batch(i)
+		before := append([]float64(nil), ref.W...)
+		bBefore := ref.B
+		ref.Step(x, y, lr)
+		for j := range ref.W {
+			vel[j] = mu*vel[j] + (ref.W[j] - before[j])
+			ref.W[j] = before[j] + vel[j]
+		}
+		vel[len(ref.W)] = mu*vel[len(ref.W)] + (ref.B - bBefore)
+		ref.B = bBefore + vel[len(ref.W)]
+	}
+
+	m := NewMomentum(NewLogReg(d.X.Cols()), mu)
+	for i := 0; i < src.NumBatches(); i++ {
+		x, y := src.Batch(i)
+		m.Step(x, y, lr)
+	}
+	got := m.Model.(*LogReg)
+	for j := range ref.W {
+		if math.Abs(got.W[j]-ref.W[j]) > 1e-12 {
+			t.Fatalf("W[%d] = %v, want %v", j, got.W[j], ref.W[j])
+		}
+	}
+	if math.Abs(got.B-ref.B) > 1e-12 {
+		t.Fatalf("B = %v, want %v", got.B, ref.B)
+	}
+}
+
+func TestMomentumAcceleratesConvergence(t *testing.T) {
+	d, _ := data.Generate("census", 800, 25)
+	d.ShuffleOnce(26)
+	src := NewMemorySource(d, 100, formats.MustGet("TOC"))
+
+	plain := NewLogReg(d.X.Cols())
+	Train(plain, src, 5, 0.1, nil)
+	mom := NewMomentum(NewLogReg(d.X.Cols()), 0.9)
+	Train(mom, src, 5, 0.1, nil)
+	if mom.Loss(src.batches[0], src.labels[0]) >= plain.Loss(src.batches[0], src.labels[0]) {
+		t.Fatal("momentum should reach lower loss at this budget")
+	}
+}
+
+func TestMomentumNNFallback(t *testing.T) {
+	d, _ := data.Generate("mnist", 200, 27)
+	nn := NewNN(d.X.Cols(), []int{8}, d.Classes, 1)
+	m := NewMomentum(nn, 0.9)
+	src := NewMemorySource(d, 50, formats.MustGet("CSR"))
+	// must not panic, falls back to plain steps
+	Train(m, src, 1, 0.3, nil)
+	if len(m.Predict(src.batches[0])) != 50 {
+		t.Fatal("predict delegation broken")
+	}
+}

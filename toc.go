@@ -1,0 +1,144 @@
+// Package toc is the public facade of the tuple-oriented compression
+// library, a Go implementation of "Tuple-oriented Compression for
+// Large-scale Mini-batch Stochastic Gradient Descent" (Li et al., SIGMOD
+// 2019).
+//
+// TOC losslessly compresses mini-batches (small dense matrices) through
+// three layers — sparse encoding, LZW-style prefix-tree logical encoding,
+// and bit-packed/value-indexed physical encoding — while preserving tuple
+// boundaries, so the matrix operations mini-batch gradient descent needs
+// (A·v, v·A, A·M, M·A, sparse-safe element-wise ops) execute directly on
+// the compressed representation with no decompression step.
+//
+// Quick start:
+//
+//	m := toc.NewDense(2, 3)
+//	m.Set(0, 0, 1.5)
+//	batch := toc.Compress(m)
+//	r := batch.MulVec([]float64{1, 2, 3}) // runs on the compressed form
+//
+// The package also exposes the paper's evaluation stack: the seven
+// compared encodings behind one interface (Encode), the four ML models
+// with an MGD training driver (NewModel, Train), synthetic stand-ins for
+// the six evaluation datasets (GenerateDataset), and a memory-budgeted
+// batch store that reproduces the out-of-core regime (NewStore).
+package toc
+
+import (
+	"toc/internal/core"
+	"toc/internal/data"
+	"toc/internal/formats"
+	"toc/internal/matrix"
+	"toc/internal/ml"
+	"toc/internal/storage"
+)
+
+// Dense is a row-major dense matrix, the uncompressed mini-batch form.
+type Dense = matrix.Dense
+
+// NewDense allocates a rows × cols zero matrix.
+func NewDense(rows, cols int) *Dense { return matrix.NewDense(rows, cols) }
+
+// NewDenseFromRows builds a matrix from per-row slices, copying them.
+func NewDenseFromRows(rows [][]float64) *Dense { return matrix.NewDenseFromRows(rows) }
+
+// Batch is a TOC-compressed mini-batch (the paper's contribution).
+type Batch = core.Batch
+
+// Pair is a column-index:value pair, TOC's compression unit.
+type Pair = core.Pair
+
+// Variant selects TOC encoding layers (Full, SparseLogical, SparseOnly).
+type Variant = core.Variant
+
+// TOC encoding-layer variants, used by the paper's ablation studies.
+const (
+	Full          = core.Full
+	SparseLogical = core.SparseLogical
+	SparseOnly    = core.SparseOnly
+)
+
+// Compress encodes a dense mini-batch with the full TOC pipeline.
+func Compress(m *Dense) *Batch { return core.Compress(m) }
+
+// CompressVariant encodes with a subset of the TOC layers.
+func CompressVariant(m *Dense, v Variant) *Batch { return core.CompressVariant(m, v) }
+
+// Deserialize reconstructs a TOC batch from its Serialize image.
+func Deserialize(img []byte) (*Batch, error) { return core.Deserialize(img) }
+
+// CompressedMatrix is the interface every mini-batch encoding implements:
+// TOC, the light-weight schemes (CSR, CVI, DVI, CLA) and the general
+// schemes (Gzip, Snappy).
+type CompressedMatrix = formats.CompressedMatrix
+
+// Codec pairs a scheme's encoder with its wire decoder.
+type Codec = formats.Codec
+
+// Methods lists every registered encoding method name.
+func Methods() []string { return formats.Names() }
+
+// PaperMethods lists the paper's compared methods in figure order.
+func PaperMethods() []string { return formats.PaperMethods() }
+
+// Encode compresses a mini-batch with the named method ("TOC", "CSR",
+// "CVI", "DVI", "CLA", "DEN", "Gzip", "Snappy", or a TOC ablation
+// variant). It panics on unknown names; use GetCodec to probe.
+func Encode(method string, m *Dense) CompressedMatrix {
+	return formats.MustGet(method)(m)
+}
+
+// GetCodec returns the codec registered under name.
+func GetCodec(name string) (Codec, bool) { return formats.GetCodec(name) }
+
+// Dataset is a generated dataset with features, labels and label arity.
+type Dataset = data.Dataset
+
+// DatasetNames lists the six paper evaluation dataset names.
+func DatasetNames() []string { return data.Names() }
+
+// GenerateDataset builds a synthetic stand-in for one of the paper's
+// datasets ("census", "imagenet", "mnist", "kdd99", "rcv1", "deep1b").
+func GenerateDataset(name string, rows int, seed int64) (*Dataset, error) {
+	return data.Generate(name, rows, seed)
+}
+
+// Model is an empirical-risk model trained by mini-batch SGD.
+type Model = ml.Model
+
+// BatchSource supplies compressed mini-batches to the training driver.
+type BatchSource = ml.BatchSource
+
+// TrainResult records per-epoch losses and timings of a training run.
+type TrainResult = ml.TrainResult
+
+// NewModel constructs a model by name: "linreg", "lr", "svm" or "nn".
+// LR and SVM become one-vs-rest ensembles when classes > 2.
+func NewModel(name string, dims, classes int, hiddenScale float64, seed int64) (Model, error) {
+	return ml.NewModel(name, dims, classes, hiddenScale, seed)
+}
+
+// NewMemorySource slices a dataset into mini-batches encoded with method.
+func NewMemorySource(d *Dataset, batchSize int, method string) *ml.MemorySource {
+	return ml.NewMemorySource(d, batchSize, formats.MustGet(method))
+}
+
+// Train runs mini-batch gradient descent (Equation 2 of the paper) for the
+// given epochs over a batch source. cb may be nil.
+func Train(m Model, src BatchSource, epochs int, lr float64, cb ml.EpochCallback) *TrainResult {
+	return ml.Train(m, src, epochs, lr, cb)
+}
+
+// EvaluateError returns a model's error rate over a batch source.
+func EvaluateError(m Model, src BatchSource) float64 { return ml.EvaluateError(m, src) }
+
+// Store is a memory-budgeted mini-batch store: batches beyond the budget
+// spill to disk and are re-read every epoch, reproducing the paper's
+// out-of-core training regime.
+type Store = storage.Store
+
+// NewStore creates a store holding batches encoded with method under a
+// resident-bytes budget; dir "" uses the OS temp dir.
+func NewStore(dir, method string, budgetBytes int64) (*Store, error) {
+	return storage.NewStore(dir, method, budgetBytes)
+}
