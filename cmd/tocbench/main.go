@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7) or 'all'")
-		scale = flag.Float64("scale", 1.0, "dataset size multiplier")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7, scaling) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "extra worker count for the scaling experiment's sweep")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	ids := []string{*run}
 	if *run == "all" {

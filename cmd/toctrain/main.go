@@ -6,6 +6,15 @@
 //
 //	toctrain -dataset imagenet -rows 4000 -model lr -method TOC
 //	toctrain -dataset mnist -model nn -method CSR -budget 500000
+//	toctrain -dataset mnist -model lr -budget 500000 -workers 8
+//
+// With -workers N (N != 1) the concurrent engine takes over: ingest
+// compression is sharded across the pool, training is data-parallel with
+// deterministic gradient merging, and spilled batches are read by the
+// async prefetcher ahead of the loop. Engine mode merges -group batch
+// gradients per parameter update, so its loss trajectory differs from the
+// serial per-batch schedule (it depends on -group, never on -workers);
+// -group 1 reproduces the serial trajectory exactly.
 package main
 
 import (
@@ -32,6 +41,9 @@ func main() {
 		bandwidth = flag.Int64("bw", 150<<20, "simulated disk read bandwidth bytes/s")
 		seed      = flag.Int64("seed", 1, "random seed")
 		hidden    = flag.Float64("hidden", 0.25, "NN hidden layer scale (1.0 = paper's 200/50)")
+		workers   = flag.Int("workers", 1, "worker pool size; != 1 enables the concurrent engine (0 = GOMAXPROCS)")
+		prefetch  = flag.Int("prefetch", 16, "spill prefetch window depth (engine mode)")
+		group     = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory)")
 	)
 	flag.Parse()
 
@@ -50,10 +62,21 @@ func main() {
 	}
 	defer store.Close()
 	store.SetReadBandwidth(*bandwidth)
-	for i := 0; i < d.NumBatches(*batchSize); i++ {
-		x, y := d.Batch(i, *batchSize)
-		if err := store.Add(x, y); err != nil {
+
+	var eng *toc.Engine
+	if *workers != 1 {
+		eng = toc.NewEngine(toc.EngineConfig{Workers: *workers, GroupSize: *group, Seed: *seed})
+	}
+	if eng != nil {
+		if err := eng.FillStore(store, d, *batchSize); err != nil {
 			log.Fatal(err)
+		}
+	} else {
+		for i := 0; i < d.NumBatches(*batchSize); i++ {
+			x, y := d.Batch(i, *batchSize)
+			if err := store.Add(x, y); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	st := store.Stats()
@@ -67,11 +90,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("epoch  loss      elapsed_ms")
-	res := toc.Train(model, store, *epochs, *lr, func(e int, elapsed time.Duration, loss float64) {
+	cb := func(e int, elapsed time.Duration, loss float64) {
 		fmt.Printf("%5d  %.6f  %10.1f\n", e+1, loss, elapsed.Seconds()*1e3)
-	})
+	}
+	var res *toc.TrainResult
+	var pf *toc.Prefetcher
+	if eng != nil {
+		gm, ok := model.(toc.GradModel)
+		if !ok {
+			log.Fatalf("model %q cannot train in parallel", *modelName)
+		}
+		pf = toc.NewPrefetcher(store, *prefetch, *workers)
+		defer pf.Close()
+		fmt.Printf("engine: %d workers, group %d, prefetch depth %d\n", eng.Workers(), *group, *prefetch)
+		res = eng.Train(gm, pf, *epochs, *lr, cb)
+	} else {
+		res = toc.Train(model, store, *epochs, *lr, cb)
+	}
 	st = store.Stats()
 	fmt.Printf("total %.1fms (IO %.1fms, %d spilled reads), final error %.3f\n",
 		res.Total.Seconds()*1e3, st.ReadTime.Seconds()*1e3, st.Reads,
 		toc.EvaluateError(model, store))
+	if pf != nil {
+		ps := pf.Stats()
+		fmt.Printf("prefetch: %d hits, %d misses, %d issued, stall %.1fms\n",
+			ps.Hits, ps.Misses, ps.Prefetched, ps.Stall.Seconds()*1e3)
+	}
 }

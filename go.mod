@@ -1,0 +1,3 @@
+module toc
+
+go 1.24

@@ -29,6 +29,9 @@ type Config struct {
 	Seed int64
 	// Dir is where spill files are created ("" = OS temp).
 	Dir string
+	// Workers adds an extra worker count to the scaling experiment's
+	// sweep (0 keeps the default 1/2/4/8 sweep).
+	Workers int
 }
 
 // DefaultConfig returns the sizing used by cmd/tocbench and bench_test.go.

@@ -1,0 +1,244 @@
+// Package engine is the concurrent mini-batch training engine: it shards
+// compression of incoming dense mini-batches across a worker pool, runs
+// data-parallel MGD where each worker computes gradients on its shard of
+// compressed batches through the on-compressed-form ops, and drives the
+// storage prefetcher so spilled-batch IO overlaps compute — the multi-core
+// headroom of the paper's §6 scalability discussion.
+//
+// Parallel training uses synchronous group steps: every step freezes the
+// parameters, evaluates the gradients of the next GroupSize mini-batches
+// concurrently into per-slot buffers (lock-free — each in-flight batch
+// owns a disjoint buffer), merges them in batch order, and applies the
+// merged gradient once. Because the merge order is the batch order — never
+// the completion order — the trajectory is bitwise identical for any
+// worker count: workers=8 walks exactly the loss curve of workers=1.
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toc/internal/data"
+	"toc/internal/formats"
+	"toc/internal/matrix"
+	"toc/internal/ml"
+	"toc/internal/storage"
+)
+
+// DefaultGroupSize is the number of mini-batch gradients merged per
+// parameter update when Config.GroupSize is unset. It is deliberately
+// independent of Workers so changing the worker count never changes the
+// math, only the wall-clock.
+const DefaultGroupSize = 8
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the goroutine pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// GroupSize is the number of mini-batch gradients computed against
+	// frozen parameters and merged per update step; <= 0 uses
+	// DefaultGroupSize. GroupSize 1 reproduces serial ml.Train exactly.
+	GroupSize int
+	// Seed drives the per-epoch visit permutation when Shuffle is set.
+	Seed int64
+	// Shuffle revisits batches in a fresh seeded permutation every epoch.
+	// Off by default: the paper shuffles once upfront (§2.1.3) and epochs
+	// scan in order, which also keeps the spill prefetcher's predictions
+	// trivially right.
+	Shuffle bool
+}
+
+// Engine executes training and compression work over a bounded pool.
+type Engine struct {
+	workers int
+	group   int
+	seed    int64
+	shuffle bool
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	g := cfg.GroupSize
+	if g <= 0 {
+		g = DefaultGroupSize
+	}
+	return &Engine{workers: w, group: g, seed: cfg.Seed, shuffle: cfg.Shuffle}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// OrderedSource is a BatchSource that accepts visit-order hints;
+// storage.Prefetcher implements it. Train announces each epoch's
+// permutation through it so prefetching stays ahead of the loop.
+type OrderedSource interface {
+	ml.BatchSource
+	SetOrder(order []int)
+}
+
+// Train runs data-parallel MGD for the given epochs: per step it fans the
+// next GroupSize batch gradients out over the worker pool and applies
+// their deterministic merge. The result is reproducible for a fixed
+// (Seed, GroupSize) regardless of Workers. cb may be nil.
+func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback) *ml.TrainResult {
+	res := &ml.TrainResult{}
+	start := time.Now()
+	n := src.NumBatches()
+	np := m.NumParams()
+	group := e.group
+	if group > n && n > 0 {
+		group = n
+	}
+
+	// Per-slot gradient buffers: slot s of the current group writes only
+	// grads[s]/losses[s], so workers never contend.
+	grads := make([][]float64, group)
+	for s := range grads {
+		grads[s] = make([]float64, np)
+	}
+	losses := make([]float64, group)
+	merged := make([]float64, np)
+
+	type job struct{ slot, batch int }
+	jobs := make(chan job)
+	var pending sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		go func() {
+			for j := range jobs {
+				x, y := src.Batch(j.batch)
+				losses[j.slot] = m.Grad(x, y, grads[j.slot])
+				pending.Done()
+			}
+		}()
+	}
+	defer close(jobs)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		if e.shuffle {
+			copy(order, rand.New(rand.NewSource(e.seed+int64(epoch))).Perm(n))
+		}
+		if os, ok := src.(OrderedSource); ok {
+			os.SetOrder(order)
+		}
+		epochStart := time.Now()
+		var loss float64
+		for lo := 0; lo < n; lo += group {
+			hi := lo + group
+			if hi > n {
+				hi = n
+			}
+			cnt := hi - lo
+			pending.Add(cnt)
+			for s := 0; s < cnt; s++ {
+				jobs <- job{slot: s, batch: order[lo+s]}
+			}
+			pending.Wait()
+			// Merge in batch order, never completion order, so the sum is
+			// identical for any worker count.
+			for j := range merged {
+				merged[j] = 0
+			}
+			for s := 0; s < cnt; s++ {
+				gs := grads[s]
+				for j, v := range gs {
+					merged[j] += v
+				}
+				loss += losses[s]
+			}
+			inv := 1 / float64(cnt)
+			for j := range merged {
+				merged[j] *= inv
+			}
+			m.ApplyGrad(merged, lr)
+		}
+		if n > 0 {
+			loss /= float64(n)
+		}
+		res.EpochLoss = append(res.EpochLoss, loss)
+		res.EpochTime = append(res.EpochTime, time.Since(epochStart))
+		if cb != nil {
+			cb(epoch, time.Since(start), loss)
+		}
+	}
+	res.Total = time.Since(start)
+	return res
+}
+
+// EncodeAll compresses dense mini-batches across the worker pool,
+// returning results in input order.
+func (e *Engine) EncodeAll(enc formats.Encoder, batches []*matrix.Dense) []formats.CompressedMatrix {
+	out := make([]formats.CompressedMatrix, len(batches))
+	workers := e.workers
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(batches) {
+					return
+				}
+				out[i] = enc(batches[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// FillStore slices the dataset into batchSize mini-batches, compresses
+// them concurrently across the pool, and appends them to the store in
+// order — the sharded-ingest counterpart of calling storage.Store.Add in
+// a loop. Each worker materializes its dense batch copy only for the
+// duration of its encode, so peak uncompressed overhead is one batch per
+// worker, not one per dataset; only the compressed forms are retained
+// until the in-order Add pass.
+func (e *Engine) FillStore(st *storage.Store, d *data.Dataset, batchSize int) error {
+	n := d.NumBatches(batchSize)
+	encoded := make([]formats.CompressedMatrix, n)
+	labels := make([][]float64, n)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				x, y := d.Batch(i, batchSize)
+				encoded[i] = st.Encode(x)
+				labels[i] = y
+			}
+		}()
+	}
+	wg.Wait()
+	for i, c := range encoded {
+		if err := st.AddCompressed(c, labels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"toc/internal/data"
+	"toc/internal/formats"
+	"toc/internal/matrix"
+	"toc/internal/ml"
+	"toc/internal/storage"
+)
+
+func testSource(t testing.TB, name string, rows int) (*data.Dataset, *ml.MemorySource) {
+	t.Helper()
+	d, err := data.Generate(name, rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(2)
+	return d, ml.NewMemorySource(d, 50, formats.MustGet("TOC"))
+}
+
+func newModel(t testing.TB, name string, d *data.Dataset, seed int64) ml.GradModel {
+	t.Helper()
+	m, err := ml.NewModel(name, d.X.Cols(), d.Classes, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, ok := m.(ml.GradModel)
+	if !ok {
+		t.Fatalf("model %q (%T) does not implement GradModel", name, m)
+	}
+	return gm
+}
+
+// flatParams snapshots a model's parameters by unpacking each concrete
+// model type's weight fields.
+func flatParams(t testing.TB, m ml.Model) []float64 {
+	t.Helper()
+	switch v := m.(type) {
+	case *ml.LinReg:
+		return append(append([]float64(nil), v.W...), v.B)
+	case *ml.LogReg:
+		return append(append([]float64(nil), v.W...), v.B)
+	case *ml.SVM:
+		return append(append([]float64(nil), v.W...), v.B)
+	case *ml.OneVsRest:
+		var out []float64
+		for _, sub := range v.Models {
+			out = append(out, flatParams(t, sub)...)
+		}
+		return out
+	case *ml.NN:
+		var out []float64
+		for l := range v.W {
+			out = append(out, v.W[l].Data()...)
+			out = append(out, v.B[l]...)
+		}
+		return out
+	default:
+		t.Fatalf("flatParams: unsupported model %T", m)
+		return nil
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// GroupSize 1 makes the engine a serial MGD driver; its trajectory must
+// match ml.Train exactly for every model family.
+func TestEngineGroupOneMatchesSerialTrain(t *testing.T) {
+	for _, name := range []string{"linreg", "lr", "svm", "nn"} {
+		d, src := testSource(t, "census", 400)
+		serial := newModel(t, name, d, 7)
+		resS := ml.Train(serial, src, 3, 0.2, nil)
+
+		eng := New(Config{Workers: 4, GroupSize: 1})
+		parallel := newModel(t, name, d, 7)
+		resP := eng.Train(parallel, src, 3, 0.2, nil)
+
+		if diff := maxAbsDiff(flatParams(t, serial), flatParams(t, parallel)); diff > 1e-12 {
+			t.Errorf("%s: weights diverge from serial ml.Train by %g", name, diff)
+		}
+		for e := range resS.EpochLoss {
+			if math.Abs(resS.EpochLoss[e]-resP.EpochLoss[e]) > 1e-12 {
+				t.Errorf("%s: epoch %d loss %g != serial %g", name, e, resP.EpochLoss[e], resS.EpochLoss[e])
+			}
+		}
+	}
+}
+
+// The acceptance determinism property: for a fixed seed and group size,
+// workers=1 and workers=8 converge to the same weights.
+func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, name := range []string{"lr", "nn"} {
+		d, src := testSource(t, "mnist", 600)
+
+		m1 := newModel(t, name, d, 11)
+		res1 := New(Config{Workers: 1, GroupSize: 8, Seed: 5, Shuffle: true}).Train(m1, src, 3, 0.2, nil)
+
+		m8 := newModel(t, name, d, 11)
+		res8 := New(Config{Workers: 8, GroupSize: 8, Seed: 5, Shuffle: true}).Train(m8, src, 3, 0.2, nil)
+
+		if diff := maxAbsDiff(flatParams(t, m1), flatParams(t, m8)); diff > 1e-12 {
+			t.Errorf("%s: workers=1 vs workers=8 final weights differ by %g", name, diff)
+		}
+		for e := range res1.EpochLoss {
+			if math.Abs(res1.EpochLoss[e]-res8.EpochLoss[e]) > 1e-12 {
+				t.Errorf("%s: epoch %d loss curve differs: %g vs %g", name, e,
+					res1.EpochLoss[e], res8.EpochLoss[e])
+			}
+		}
+	}
+}
+
+// Exercised under -race in CI: eight workers training over a spilled store
+// behind the async prefetcher.
+func TestEngineConcurrentOverPrefetchedStore(t *testing.T) {
+	d, err := data.Generate("census", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(4)
+	st, err := storage.NewStore(t.TempDir(), "TOC", 1) // 1-byte budget: all spilled
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := New(Config{Workers: 8, GroupSize: 8, Seed: 9, Shuffle: true})
+	if err := eng.FillStore(st, d, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Spilled() {
+		t.Fatal("expected every batch to spill")
+	}
+	pf := storage.NewPrefetcher(st, 6, 3)
+	defer pf.Close()
+
+	m := newModel(t, "lr", d, 13)
+	res := eng.Train(m, pf, 3, 0.3, nil)
+	if len(res.EpochLoss) != 3 {
+		t.Fatalf("epochs = %d", len(res.EpochLoss))
+	}
+	if res.EpochLoss[2] >= res.EpochLoss[0] {
+		t.Errorf("loss did not decrease: %v", res.EpochLoss)
+	}
+	if ps := pf.Stats(); ps.Hits == 0 {
+		t.Errorf("prefetcher never hit: %+v", ps)
+	}
+}
+
+// The headline win: workers=8 plus the async prefetcher beats the serial
+// training loop on an out-of-core store. The store's IO cost is
+// deterministic bandwidth sleeps, so overlapping them with compute (and
+// with each other, across readers) is a stable speedup even on one core.
+func TestEngineBeatsSerialOnSpilledStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	const batchSize, epochs, bandwidth = 100, 2, 2 << 20
+	d, err := data.Generate("mnist", 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(4)
+
+	serialStore, err := storage.NewStore(t.TempDir(), "TOC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serialStore.Close()
+	serialStore.SetReadBandwidth(bandwidth)
+	for i := 0; i < d.NumBatches(batchSize); i++ {
+		x, y := d.Batch(i, batchSize)
+		if err := serialStore.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialRes := ml.Train(newModel(t, "lr", d, 17), serialStore, epochs, 0.2, nil)
+
+	engineStore, err := storage.NewStore(t.TempDir(), "TOC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engineStore.Close()
+	engineStore.SetReadBandwidth(bandwidth)
+	eng := New(Config{Workers: 8, GroupSize: 8})
+	if err := eng.FillStore(engineStore, d, batchSize); err != nil {
+		t.Fatal(err)
+	}
+	pf := storage.NewPrefetcher(engineStore, 12, 8)
+	defer pf.Close()
+	engineRes := eng.Train(newModel(t, "lr", d, 17), pf, epochs, 0.2, nil)
+
+	if engineRes.Total >= serialRes.Total*9/10 {
+		t.Errorf("engine (workers=8, prefetch) took %v, serial %v — expected a clear win",
+			engineRes.Total, serialRes.Total)
+	}
+}
+
+// EncodeAll must equal batch-at-a-time encoding, byte for byte.
+func TestEncodeAllMatchesSerial(t *testing.T) {
+	d, err := data.Generate("kdd99", 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dense []*matrix.Dense
+	for i := 0; i < d.NumBatches(25); i++ {
+		x, _ := d.Batch(i, 25)
+		dense = append(dense, x)
+	}
+	enc := formats.MustGet("TOC")
+	got := New(Config{Workers: 8}).EncodeAll(enc, dense)
+	for i, x := range dense {
+		want := enc(x).Serialize()
+		if !bytes.Equal(got[i].Serialize(), want) {
+			t.Fatalf("batch %d: parallel encoding differs from serial", i)
+		}
+	}
+}
+
+// FillStore must produce the same layout and contents as serial Add.
+func TestFillStoreMatchesSerialAdd(t *testing.T) {
+	d, err := data.Generate("census", 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := storage.NewStore(t.TempDir(), "TOC", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	for i := 0; i < d.NumBatches(50); i++ {
+		x, y := d.Batch(i, 50)
+		if err := serial.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parallel, err := storage.NewStore(t.TempDir(), "TOC", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.Close()
+	if err := New(Config{Workers: 8}).FillStore(parallel, d, 50); err != nil {
+		t.Fatal(err)
+	}
+	ss, ps := serial.Stats(), parallel.Stats()
+	if ss.ResidentBatches != ps.ResidentBatches || ss.SpilledBatches != ps.SpilledBatches ||
+		ss.ResidentBytes != ps.ResidentBytes || ss.SpilledBytes != ps.SpilledBytes {
+		t.Fatalf("layout differs: serial %+v parallel %+v", ss, ps)
+	}
+	for i := 0; i < serial.NumBatches(); i++ {
+		a, ya := serial.Batch(i)
+		b, yb := parallel.Batch(i)
+		if !a.Decode().Equal(b.Decode()) {
+			t.Fatalf("batch %d contents differ", i)
+		}
+		for k := range ya {
+			if ya[k] != yb[k] {
+				t.Fatalf("batch %d labels differ", i)
+			}
+		}
+	}
+}

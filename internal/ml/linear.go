@@ -16,29 +16,21 @@ type LinReg struct {
 	W  []float64 // weight vector, one per feature
 	B  float64   // bias
 	L2 float64   // optional ridge penalty coefficient
+
+	step []float64 // cached Step gradient buffer
 }
 
 // NewLinReg creates a zero-initialized linear regression model.
 func NewLinReg(dims int) *LinReg { return &LinReg{W: make([]float64, dims)} }
 
-// Step implements Equation 3: grad = ((Ah − Y)ᵀA)ᵀ, averaged over the batch.
+// Step implements Equation 3: grad = ((Ah − Y)ᵀA)ᵀ, averaged over the
+// batch. It is Grad followed by ApplyGrad, so the parallel engine's
+// split-step training walks the same trajectory.
 func (m *LinReg) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 {
-	n := float64(x.Rows())
-	p := x.MulVec(m.W) // A·h
-	var loss, rsum float64
-	r := make([]float64, len(p))
-	for i := range p {
-		d := p[i] + m.B - y[i]
-		loss += 0.5 * d * d
-		r[i] = d / n
-		rsum += d / n
-	}
-	g := x.VecMul(r) // (rᵀA)ᵀ
-	for j := range m.W {
-		m.W[j] -= lr * (g[j] + m.L2*m.W[j])
-	}
-	m.B -= lr * rsum
-	return loss / n
+	g := stepBuf(&m.step, m.NumParams())
+	loss := m.Grad(x, y, g)
+	m.ApplyGrad(g, lr)
+	return loss
 }
 
 // Loss evaluates mean squared loss.
@@ -66,6 +58,8 @@ type LogReg struct {
 	W  []float64
 	B  float64
 	L2 float64
+
+	step []float64 // cached Step gradient buffer
 }
 
 // NewLogReg creates a zero-initialized logistic regression model.
@@ -73,23 +67,10 @@ func NewLogReg(dims int) *LogReg { return &LogReg{W: make([]float64, dims)} }
 
 // Step performs one MGD update with the logistic gradient (σ(Ah) − y)ᵀA.
 func (m *LogReg) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 {
-	n := float64(x.Rows())
-	s := x.MulVec(m.W)
-	var loss, rsum float64
-	r := make([]float64, len(s))
-	for i := range s {
-		p := sigmoid(s[i] + m.B)
-		pc := clampProb(p)
-		loss += -(y[i]*math.Log(pc) + (1-y[i])*math.Log(1-pc))
-		r[i] = (p - y[i]) / n
-		rsum += r[i]
-	}
-	g := x.VecMul(r)
-	for j := range m.W {
-		m.W[j] -= lr * (g[j] + m.L2*m.W[j])
-	}
-	m.B -= lr * rsum
-	return loss / n
+	g := stepBuf(&m.step, m.NumParams())
+	loss := m.Grad(x, y, g)
+	m.ApplyGrad(g, lr)
+	return loss
 }
 
 // Loss evaluates mean logistic loss.
@@ -131,6 +112,8 @@ type SVM struct {
 	W  []float64
 	B  float64
 	L2 float64
+
+	step []float64 // cached Step gradient buffer
 }
 
 // NewSVM creates a zero-initialized linear SVM.
@@ -139,25 +122,10 @@ func NewSVM(dims int) *SVM { return &SVM{W: make([]float64, dims), L2: 1e-4} }
 // Step performs one MGD update with the hinge subgradient: rows inside the
 // margin contribute −y·x.
 func (m *SVM) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 {
-	n := float64(x.Rows())
-	s := x.MulVec(m.W)
-	var loss, rsum float64
-	r := make([]float64, len(s))
-	for i := range s {
-		yi := 2*y[i] - 1 // {0,1} -> {-1,+1}
-		margin := yi * (s[i] + m.B)
-		if margin < 1 {
-			loss += 1 - margin
-			r[i] = -yi / n
-			rsum += r[i]
-		}
-	}
-	g := x.VecMul(r)
-	for j := range m.W {
-		m.W[j] -= lr * (g[j] + m.L2*m.W[j])
-	}
-	m.B -= lr * rsum
-	return loss / n
+	g := stepBuf(&m.step, m.NumParams())
+	loss := m.Grad(x, y, g)
+	m.ApplyGrad(g, lr)
+	return loss
 }
 
 // Loss evaluates mean hinge loss.

@@ -1,7 +1,6 @@
 package ml
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -25,6 +24,8 @@ type NN struct {
 	B [][]float64
 	// Classes is the number of classes (2 with a single sigmoid output).
 	Classes int
+
+	step []float64 // cached Step gradient buffer
 }
 
 // NewNN builds a network with the given hidden layer widths for an input
@@ -129,49 +130,13 @@ func (n *NN) oneHot(y []float64) *matrix.Dense {
 }
 
 // Step runs one forward/backward pass and SGD update; it returns the
-// cross-entropy loss before the update.
+// cross-entropy loss before the update. It is Grad followed by ApplyGrad
+// (the backward pass never reads a weight it has already updated), so the
+// parallel engine's split-step training walks the same trajectory.
 func (n *NN) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 {
-	if x.Rows() != len(y) {
-		panic(fmt.Sprintf("ml: NN batch %d rows but %d labels", x.Rows(), len(y)))
-	}
-	acts := n.forward(x)
-	out := acts[len(acts)-1]
-	target := n.oneHot(y)
-	loss := n.crossEntropy(out, target)
-
-	nRows := float64(x.Rows())
-	// For sigmoid+CE and softmax+CE alike: delta_out = (P − T)/n.
-	delta := out.Sub(target)
-	delta.ScaleInPlace(1 / nRows)
-
-	for l := len(n.W) - 1; l >= 0; l-- {
-		// Gradients of layer l.
-		var dW *matrix.Dense
-		if l == 0 {
-			// dW0 = Aᵀ·delta = (deltaᵀ·A)ᵀ — M·A on the compressed input.
-			dW = x.MatMul(delta.Transpose()).Transpose()
-		} else {
-			dW = acts[l-1].Transpose().MulMat(delta)
-		}
-		db := columnSums(delta)
-		// Backpropagate before mutating weights.
-		if l > 0 {
-			back := delta.MulMat(n.W[l].Transpose())
-			h := acts[l-1]
-			for i := 0; i < back.Rows(); i++ {
-				br := back.Row(i)
-				hr := h.Row(i)
-				for j := range br {
-					br[j] *= hr[j] * (1 - hr[j]) // sigmoid'
-				}
-			}
-			delta = back
-		}
-		n.W[l].AddScaledInPlace(-lr, dW)
-		for j := range n.B[l] {
-			n.B[l][j] -= lr * db[j]
-		}
-	}
+	g := stepBuf(&n.step, n.NumParams())
+	loss := n.Grad(x, y, g)
+	n.ApplyGrad(g, lr)
 	return loss
 }
 

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"toc/internal/formats"
+)
+
+// PrefetchStats describes how much spilled IO the prefetcher moved off the
+// training loop's critical path.
+type PrefetchStats struct {
+	// Hits counts spilled batches that were already prefetched (complete
+	// or in flight) when the consumer asked for them; Misses counts
+	// spilled batches read synchronously on the critical path. Resident
+	// batches count as neither.
+	Hits, Misses int64
+	// Prefetched counts background reads issued.
+	Prefetched int64
+	// Stall accumulates time the consumer spent waiting for an in-flight
+	// prefetch to land — the residual IO exposure after prefetching.
+	Stall time.Duration
+}
+
+// fetchJob asks a reader goroutine to load one spilled batch.
+type fetchJob struct {
+	idx int
+	en  *entry
+}
+
+// entry is a prefetched (or in-flight) batch; c and y are valid after done
+// is closed.
+type entry struct {
+	done chan struct{}
+	c    formats.CompressedMatrix
+	y    []float64
+}
+
+// Prefetcher wraps a Store and reads spilled batches ahead of the training
+// loop instead of on its critical path — the paper's Figure 1A IO time
+// overlapped with compute. It predicts the visit sequence from an order
+// hint (SetOrder, which the engine refreshes with its per-epoch
+// permutation; the default is sequential) and keeps up to depth upcoming
+// spilled batches resident or in flight, wrapping around the epoch
+// boundary. It implements the ml.BatchSource contract and is safe for
+// concurrent Batch calls.
+type Prefetcher struct {
+	store *Store
+	depth int
+	jobs  chan fetchJob
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	order  []int       // predicted visit sequence (a permutation of 0..n-1)
+	posOf  []int       // batch index -> position in order
+	cache  map[int]*entry
+	stats  PrefetchStats
+	closed bool
+}
+
+// NewPrefetcher wraps a fully-loaded store (no further Add calls) with a
+// prefetch window of depth batches served by readers background
+// goroutines (readers <= 0 picks a small default). It immediately begins
+// prefetching the head of the sequential order.
+func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
+	n := s.NumBatches()
+	if depth > n-1 {
+		depth = n - 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if readers <= 0 {
+		readers = runtime.GOMAXPROCS(0) / 4
+		if readers < 2 {
+			readers = 2
+		}
+	}
+	p := &Prefetcher{
+		store: s,
+		depth: depth,
+		jobs:  make(chan fetchJob, depth+readers),
+		order: make([]int, n),
+		posOf: make([]int, n),
+		cache: make(map[int]*entry, depth+1),
+	}
+	for i := range p.order {
+		p.order[i] = i
+		p.posOf[i] = i
+	}
+	for r := 0; r < readers; r++ {
+		p.wg.Add(1)
+		go p.reader()
+	}
+	p.mu.Lock()
+	p.scheduleLocked(-1)
+	p.mu.Unlock()
+	return p
+}
+
+func (p *Prefetcher) reader() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		j.en.c, j.en.y = p.store.Batch(j.idx)
+		close(j.en.done)
+	}
+}
+
+// SetOrder replaces the predicted visit sequence (a permutation of batch
+// indices) and prefetches its head. The engine calls this with its seeded
+// per-epoch permutation before each epoch.
+func (p *Prefetcher) SetOrder(order []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.order = append(p.order[:0], order...)
+	for pos, idx := range p.order {
+		p.posOf[idx] = pos
+	}
+	p.scheduleLocked(-1)
+}
+
+// scheduleLocked queues background reads for the spilled batches within
+// depth positions after pos in the predicted order (wrapping around). Must
+// be called with p.mu held.
+func (p *Prefetcher) scheduleLocked(pos int) {
+	n := len(p.order)
+	if n == 0 || p.closed {
+		return
+	}
+	for k := 1; k <= p.depth; k++ {
+		idx := p.order[(pos+k)%n]
+		if p.store.Resident(idx) {
+			continue
+		}
+		if _, inFlight := p.cache[idx]; inFlight {
+			continue
+		}
+		en := &entry{done: make(chan struct{})}
+		select {
+		case p.jobs <- fetchJob{idx: idx, en: en}:
+			p.cache[idx] = en
+			p.stats.Prefetched++
+		default:
+			return // queue full; a later access re-schedules
+		}
+	}
+}
+
+// NumBatches returns the number of stored mini-batches.
+func (p *Prefetcher) NumBatches() int { return p.store.NumBatches() }
+
+// Batch returns mini-batch i, consuming its prefetched copy when one is
+// ready or in flight, and advances the prefetch window past i's position
+// in the predicted order.
+func (p *Prefetcher) Batch(i int) (formats.CompressedMatrix, []float64) {
+	p.mu.Lock()
+	en := p.cache[i]
+	if en != nil {
+		delete(p.cache, i) // consumed; re-prefetched on the next lap
+		p.stats.Hits++
+	} else if !p.store.Resident(i) {
+		p.stats.Misses++
+	}
+	p.scheduleLocked(p.posOf[i])
+	p.mu.Unlock()
+
+	if en == nil {
+		return p.store.Batch(i) // resident, or a synchronous miss
+	}
+	select {
+	case <-en.done: // landed ahead of time: no stall
+	default:
+		start := time.Now()
+		<-en.done
+		stall := time.Since(start)
+		p.mu.Lock()
+		p.stats.Stall += stall
+		p.mu.Unlock()
+	}
+	return en.c, en.y
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (p *Prefetcher) Stats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Store returns the wrapped store (for its IO stats and cleanup; closing
+// the store remains the caller's job).
+func (p *Prefetcher) Store() *Store { return p.store }
+
+// Close stops the background readers. It does not close the wrapped store.
+func (p *Prefetcher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+	return nil
+}

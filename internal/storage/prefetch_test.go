@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"toc/internal/matrix"
+)
+
+// spilledStore builds a store of n 4-row batches that all spill to disk.
+func spilledStore(t *testing.T, n int) *Store {
+	t.Helper()
+	st, err := NewStore(t.TempDir(), "TOC", 1) // 1-byte budget: everything spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for b := 0; b < n; b++ {
+		x := matrix.NewDense(4, 6)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 6; j++ {
+				x.Set(i, j, float64((b+i*j)%5))
+			}
+		}
+		if err := st.Add(x, []float64{0, 1, 0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.Spilled() {
+		t.Fatal("expected batches to spill")
+	}
+	return st
+}
+
+// A sequential scan behind a warm prefetcher should be all hits: the
+// window is primed at construction and stays depth batches ahead,
+// wrapping across the epoch boundary.
+func TestPrefetcherSequentialScanAllHits(t *testing.T) {
+	const n = 12
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 4, 2)
+	defer pf.Close()
+	if pf.NumBatches() != n {
+		t.Fatalf("NumBatches = %d", pf.NumBatches())
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		for i := 0; i < n; i++ {
+			c, y := pf.Batch(i)
+			want, wantY := st.Batch(i)
+			if !c.Decode().Equal(want.Decode()) {
+				t.Fatalf("batch %d contents differ", i)
+			}
+			if len(y) != len(wantY) {
+				t.Fatalf("batch %d labels differ", i)
+			}
+		}
+	}
+	ps := pf.Stats()
+	if ps.Misses != 0 {
+		t.Errorf("sequential scan missed %d times: %+v", ps.Misses, ps)
+	}
+	if ps.Hits != 2*n {
+		t.Errorf("Hits = %d, want %d", ps.Hits, 2*n)
+	}
+	if ps.Prefetched < ps.Hits {
+		t.Errorf("Prefetched = %d < Hits = %d", ps.Prefetched, ps.Hits)
+	}
+}
+
+// Jumping far outside the prefetch window is a miss, served synchronously.
+func TestPrefetcherOutOfWindowMiss(t *testing.T) {
+	const n = 12
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 3, 2)
+	defer pf.Close()
+	// The primed window covers batches 0..2; batch 8 cannot be in it.
+	if _, y := pf.Batch(8); len(y) != 4 {
+		t.Fatalf("labels = %v", y)
+	}
+	if ps := pf.Stats(); ps.Misses != 1 {
+		t.Errorf("Misses = %d, want 1: %+v", ps.Misses, ps)
+	}
+}
+
+// SetOrder re-aims the window: a scan in the announced permutation order
+// never misses.
+func TestPrefetcherFollowsSetOrder(t *testing.T) {
+	const n = 10
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 4, 2)
+	defer pf.Close()
+	order := []int{7, 3, 9, 0, 5, 1, 8, 2, 6, 4}
+	pf.SetOrder(order)
+	for _, i := range order {
+		pf.Batch(i)
+	}
+	if ps := pf.Stats(); ps.Misses != 0 || ps.Hits != n {
+		t.Errorf("permuted scan: %+v, want 0 misses / %d hits", ps, n)
+	}
+}
+
+// Concurrent Batch calls (the engine's group fan-out) stay correct.
+func TestPrefetcherConcurrentReads(t *testing.T) {
+	const n = 16
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 6, 3)
+	defer pf.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, y := pf.Batch(i)
+			if c.Rows() != 4 || len(y) != 4 {
+				t.Errorf("batch %d: rows=%d labels=%d", i, c.Rows(), len(y))
+			}
+		}(i)
+	}
+	wg.Wait()
+	ps := pf.Stats()
+	if ps.Hits+ps.Misses != n {
+		t.Errorf("Hits+Misses = %d, want %d: %+v", ps.Hits+ps.Misses, n, ps)
+	}
+}
+
+// Resident batches bypass the prefetcher counters entirely.
+func TestPrefetcherResidentBypass(t *testing.T) {
+	st, err := NewStore(t.TempDir(), "TOC", 1<<30) // everything resident
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	x := matrix.NewDense(2, 3)
+	x.Set(0, 0, 1)
+	for b := 0; b < 4; b++ {
+		if err := st.Add(x, []float64{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf := NewPrefetcher(st, 2, 1)
+	defer pf.Close()
+	for i := 0; i < 4; i++ {
+		pf.Batch(i)
+	}
+	if ps := pf.Stats(); ps.Hits != 0 || ps.Misses != 0 || ps.Prefetched != 0 {
+		t.Errorf("resident reads touched the prefetcher: %+v", ps)
+	}
+}

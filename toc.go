@@ -27,6 +27,7 @@ package toc
 import (
 	"toc/internal/core"
 	"toc/internal/data"
+	"toc/internal/engine"
 	"toc/internal/formats"
 	"toc/internal/matrix"
 	"toc/internal/ml"
@@ -132,6 +133,36 @@ func Train(m Model, src BatchSource, epochs int, lr float64, cb ml.EpochCallback
 // EvaluateError returns a model's error rate over a batch source.
 func EvaluateError(m Model, src BatchSource) float64 { return ml.EvaluateError(m, src) }
 
+// GradModel is a Model whose gradient computation and parameter update
+// are separable, which is what data-parallel training needs. Every model
+// NewModel returns implements it.
+type GradModel = ml.GradModel
+
+// Engine is the concurrent mini-batch training engine: it shards
+// compression across a worker pool, runs data-parallel MGD with
+// deterministic batch-order gradient merging (the trajectory is identical
+// for any worker count), and keeps the spill prefetcher aimed at the
+// upcoming batches.
+type Engine = engine.Engine
+
+// EngineConfig sizes the engine: Workers, GroupSize, Seed, Shuffle.
+type EngineConfig = engine.Config
+
+// NewEngine builds a concurrent training engine.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// TrainParallel runs data-parallel MGD across workers goroutines: each
+// step's mini-batch gradients are computed concurrently against frozen
+// parameters and merged deterministically before one update. Models that
+// cannot split gradient from update fall back to the serial Train.
+func TrainParallel(m Model, src BatchSource, epochs int, lr float64, workers int, cb ml.EpochCallback) *TrainResult {
+	gm, ok := m.(ml.GradModel)
+	if !ok {
+		return ml.Train(m, src, epochs, lr, cb)
+	}
+	return engine.New(engine.Config{Workers: workers}).Train(gm, src, epochs, lr, cb)
+}
+
 // Store is a memory-budgeted mini-batch store: batches beyond the budget
 // spill to disk and are re-read every epoch, reproducing the paper's
 // out-of-core training regime.
@@ -141,4 +172,20 @@ type Store = storage.Store
 // resident-bytes budget; dir "" uses the OS temp dir.
 func NewStore(dir, method string, budgetBytes int64) (*Store, error) {
 	return storage.NewStore(dir, method, budgetBytes)
+}
+
+// Prefetcher reads spilled batches ahead of the training loop so their IO
+// and wire decoding overlap compute instead of sitting on the critical
+// path. It is a BatchSource; the engine feeds it each epoch's visit order.
+type Prefetcher = storage.Prefetcher
+
+// PrefetchStats reports prefetch hits, misses, issued reads and residual
+// stall time.
+type PrefetchStats = storage.PrefetchStats
+
+// NewPrefetcher wraps a fully-loaded store with an async spill prefetcher
+// holding up to depth upcoming batches, served by readers background
+// goroutines (readers <= 0 picks a small default).
+func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
+	return storage.NewPrefetcher(s, depth, readers)
 }
