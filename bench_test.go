@@ -153,6 +153,45 @@ func BenchmarkParallelMulMat(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelLeftMul measures the accumulator-sharded left-mul
+// kernels against their sequential counterparts on a 250-row batch; the
+// results are bitwise identical by contract.
+func BenchmarkParallelLeftMul(b *testing.B) {
+	m := benchBatch(b)
+	c := Compress(m)
+	rng := rand.New(rand.NewSource(3))
+	u := make([]float64, m.Rows())
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	w := matrix.NewDense(20, m.Rows())
+	for i := 0; i < w.Rows(); i++ {
+		for j := 0; j < w.Cols(); j++ {
+			w.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.Run("VecMul-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.VecMul(u)
+		}
+	})
+	b.Run("VecMul-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.VecMulParallel(u, 0)
+		}
+	})
+	b.Run("MatMul-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.MatMul(w)
+		}
+	})
+	b.Run("MatMul-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.MatMulParallel(w, 0)
+		}
+	})
+}
+
 // BenchmarkVarintVsBitpack is the §3.2 "future work" ablation: varint
 // against fixed-width bit packing on TOC-shaped index arrays.
 func BenchmarkVarintVsBitpack(b *testing.B) {

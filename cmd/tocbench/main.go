@@ -23,7 +23,7 @@ func main() {
 		run     = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7, scaling) or 'all'")
 		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
 		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "extra worker count for the scaling experiment's sweep")
+		workers = flag.Int("workers", 0, "extra worker count for the scaling experiment's sweep (all regimes, incl. the left-mul kernels)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()

@@ -14,7 +14,11 @@
 // async prefetcher ahead of the loop. Engine mode merges -group batch
 // gradients per parameter update, so its loss trajectory differs from the
 // serial per-batch schedule (it depends on -group, never on -workers);
-// -group 1 reproduces the serial trajectory exactly.
+// -group 1 reproduces the serial trajectory exactly. Workers left over
+// after the group's slots shard the kernels inside each gradient — the
+// parallel left/right multiplications are bitwise identical to the
+// sequential ones, so "-workers 8 -group 1" walks the serial trajectory
+// on all eight cores.
 package main
 
 import (
@@ -43,7 +47,7 @@ func main() {
 		hidden    = flag.Float64("hidden", 0.25, "NN hidden layer scale (1.0 = paper's 200/50)")
 		workers   = flag.Int("workers", 1, "worker pool size; != 1 enables the concurrent engine (0 = GOMAXPROCS)")
 		prefetch  = flag.Int("prefetch", 16, "spill prefetch window depth (engine mode)")
-		group     = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory)")
+		group     = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory, with all workers sharding each gradient's kernels)")
 	)
 	flag.Parse()
 
@@ -102,7 +106,8 @@ func main() {
 		}
 		pf = toc.NewPrefetcher(store, *prefetch, *workers)
 		defer pf.Close()
-		fmt.Printf("engine: %d workers, group %d, prefetch depth %d\n", eng.Workers(), *group, *prefetch)
+		fmt.Printf("engine: %d workers, group %d, kernel workers %d, prefetch depth %d\n",
+			eng.Workers(), eng.GroupSize(), eng.KernelWorkers(store.NumBatches()), *prefetch)
 		res = eng.Train(gm, pf, *epochs, *lr, cb)
 	} else {
 		res = toc.Train(model, store, *epochs, *lr, cb)

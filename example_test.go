@@ -74,6 +74,33 @@ func ExampleNewStore() {
 	// round trip: true [0 1]
 }
 
+// ExampleParallelOps shards the left-multiplication kernel v·A across
+// goroutines. Parallel kernels partition the accumulator space instead of
+// the rows, so the result is bitwise identical to the sequential kernel
+// for any worker count — which is why a kernel-parallel training run
+// walks exactly the sequential trajectory.
+func ExampleParallelOps() {
+	m := toc.NewDenseFromRows([][]float64{
+		{1.5, 2, 0, 3},
+		{1.5, 2, 0, 0},
+		{0, 2, 0, 3},
+		{1.5, 0, 0, 3},
+	})
+	batch := toc.Compress(m)
+	v := []float64{0.5, -1, 2, 0.25}
+	seq := batch.VecMul(v)            // v·A, one goroutine
+	par := batch.VecMulParallel(v, 8) // v·A, sharded over 8 goroutines
+	identical := true
+	for i := range seq {
+		identical = identical && seq[i] == par[i]
+	}
+	fmt.Println("v.A =", seq)
+	fmt.Println("bitwise identical:", identical)
+	// Output:
+	// v.A = [-0.375 3 0 8.25]
+	// bitwise identical: true
+}
+
 // ExampleNewEngine trains data-parallel across a worker pool. The engine
 // merges each step's shard gradients in batch order, so the resulting
 // weights are identical for any worker count.

@@ -60,4 +60,26 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if _, ok := GetCodec("TOC"); !ok {
 		t.Fatal("TOC codec missing")
 	}
+	// The parallel-kernel surface: TOC shards its kernels, every model
+	// takes a kernel-worker knob, and neither changes any result.
+	tc := Encode("TOC", a)
+	po, ok := tc.(ParallelOps)
+	if !ok {
+		t.Fatal("TOC should implement ParallelOps")
+	}
+	seq := tc.VecMul([]float64{1, -2, 3, 0.5})
+	par := po.VecMulParallel([]float64{1, -2, 3, 0.5}, 4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("VecMulParallel diverges at %d: %v vs %v", i, par[i], seq[i])
+		}
+	}
+	kp, ok := model.(KernelParallel)
+	if !ok {
+		t.Fatal("NewModel models should implement KernelParallel")
+	}
+	kp.SetKernelWorkers(4)
+	if e := EvaluateError(model, src); e < 0 || e > 1 {
+		t.Fatalf("kernel-parallel evaluation error rate %v", e)
+	}
 }

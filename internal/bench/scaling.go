@@ -20,13 +20,19 @@ import (
 //     gradient compute across cores (bounded by GOMAXPROCS);
 //   - spill: batches on throttled disk, so the win is the async
 //     prefetcher overlapping Figure 1A's IO time with compute and issuing
-//     reads concurrently — this one pays off even on a single core.
+//     reads concurrently — this one pays off even on a single core;
+//   - leftmul: GroupSize 1, so the only parallelism is the kernels inside
+//     each gradient — the left multiplications v·A (linear-model gradient
+//     aggregation) and M·A (NN input-layer backward), plus the right-mul
+//     forward passes, sharded across the pool.
 //
 // Each regime has one serial ml.Train baseline row and one engine row per
 // worker count over the same seeded trajectory. Because the engine merges
-// each step's shard gradients in batch order, the engine rows of a regime
-// report identical final_loss: worker count buys wall-clock, never a
-// different model.
+// each step's shard gradients in batch order — and the parallel kernels
+// are bitwise identical to the sequential ones — the engine rows of a
+// regime report identical final_loss: worker count buys wall-clock, never
+// a different model. In the leftmul regime even the serial row shares the
+// loss, since group 1 reproduces the serial schedule exactly.
 
 func init() {
 	register("scaling", "multi-core scaling of the concurrent training engine", runScaling)
@@ -48,6 +54,8 @@ func runScaling(cfg Config) (*Table, error) {
 			"  group size, so final_loss is identical across worker counts",
 			fmt.Sprintf("  (GOMAXPROCS=%d; in-RAM gains need cores, spill gains need only IO overlap)", runtime.GOMAXPROCS(0)),
 			fmt.Sprintf("spill regime: everything spilled, %d MB/s simulated disk", scalingSpillBandwidth>>20),
+			"leftmul regime: group 1, workers shard each gradient's kernels (v·A, M·A);",
+			"  every row, serial included, reports the same loss bitwise",
 		},
 	}
 	counts := []int{1, 2, 4, 8}
@@ -64,6 +72,9 @@ func runScaling(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	if err := scalingSpill(cfg, t, counts); err != nil {
+		return nil, err
+	}
+	if err := scalingLeftMul(cfg, t, counts); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -126,6 +137,56 @@ func scalingInRAM(cfg Config, t *Table, counts []int) error {
 			fmt.Sprintf("%.2f", serial.Total.Seconds()/res.Total.Seconds()),
 			fmt.Sprintf("%.6f", res.EpochLoss[epochs-1]),
 		})
+	}
+	return nil
+}
+
+// scalingLeftMul isolates kernel-level parallelism: large TOC batches,
+// GroupSize 1 (the serial update schedule), workers sharding the
+// multiplications inside each gradient. "lr" leans on v·A for its
+// gradient aggregation; "nn" on the A·M forward and the M·A backward of
+// the input layer.
+func scalingLeftMul(cfg Config, t *Table, counts []int) error {
+	const batchSize, epochs = 1000, 2
+	d, err := getDataset("imagenet", cfg.rows(4000), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	src := ml.NewMemorySource(d, batchSize, formats.MustGet("TOC"))
+	for _, modelName := range []string{"lr", "nn"} {
+		mk := func() (ml.GradModel, error) {
+			m, err := ml.NewModel(modelName, d.X.Cols(), d.Classes, 0.5, cfg.Seed+43)
+			if err != nil {
+				return nil, err
+			}
+			return m.(ml.GradModel), nil
+		}
+		regime := "leftmul-" + modelName
+		m, err := mk()
+		if err != nil {
+			return err
+		}
+		serial := ml.Train(m, src, epochs, 0.2, nil)
+		t.Rows = append(t.Rows, []string{
+			regime, "serial", "1", "-",
+			fmt.Sprintf("%.0f", serial.Total.Seconds()*1e3),
+			"1.00",
+			fmt.Sprintf("%.6f", serial.EpochLoss[epochs-1]),
+		})
+		for _, w := range counts {
+			eng := engine.New(engine.Config{Workers: w, GroupSize: 1, Seed: cfg.Seed})
+			m, err := mk()
+			if err != nil {
+				return err
+			}
+			res := eng.Train(m, src, epochs, 0.2, nil)
+			t.Rows = append(t.Rows, []string{
+				regime, "engine", fmt.Sprint(w), "-",
+				fmt.Sprintf("%.0f", res.Total.Seconds()*1e3),
+				fmt.Sprintf("%.2f", serial.Total.Seconds()/res.Total.Seconds()),
+				fmt.Sprintf("%.6f", res.EpochLoss[epochs-1]),
+			})
+		}
 	}
 	return nil
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toc/internal/matrix"
+)
+
+// bitsEqual reports exact bit-level equality of two float64 slices — the
+// parallel left-mul contract is bitwise identity, not approximation.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// leftMulBatches builds the three batch shapes the parallel kernels must
+// cover: a dense-ish logical batch, a sparse logical batch, and a
+// SparseOnly batch.
+func leftMulBatches(rng *rand.Rand, rows, cols int) map[string]*Batch {
+	dense := redundantMatrix(rng, rows, cols, 0.95, 4)
+	sparse := redundantMatrix(rng, rows, cols, 0.25, 5)
+	return map[string]*Batch{
+		"dense":      Compress(dense),
+		"sparse":     Compress(sparse),
+		"sparseOnly": CompressVariant(sparse, SparseOnly),
+	}
+}
+
+// VecMulParallel must be bitwise identical to VecMul for every worker
+// count — the property the engine's trajectory invariance stands on.
+func TestLeftMulParallelVecMulBitwiseIdentical(t *testing.T) {
+	workerCounts := []int{1, 2, 7, 16}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 8 + rng.Intn(120)
+		cols := 1 + rng.Intn(40)
+		for name, b := range leftMulBatches(rng, rows, cols) {
+			v := randVec(rng, rows)
+			want := b.VecMul(v)
+			for _, w := range workerCounts {
+				got := b.VecMulParallel(v, w)
+				if !bitsEqual(got, want) {
+					t.Fatalf("seed %d %s workers=%d: VecMulParallel differs from VecMul", seed, name, w)
+				}
+			}
+		}
+	}
+}
+
+// MatMulParallel must be bitwise identical to MatMul for every worker
+// count and every p (rows of M), including p smaller than the worker
+// count.
+func TestLeftMulParallelMatMulBitwiseIdentical(t *testing.T) {
+	workerCounts := []int{1, 2, 7, 16}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		rows := 8 + rng.Intn(80)
+		cols := 1 + rng.Intn(30)
+		for name, b := range leftMulBatches(rng, rows, cols) {
+			for _, p := range []int{1, 3, 8, 21} {
+				m := matrix.NewDense(p, rows)
+				fillRand(rng, m)
+				want := b.MatMul(m)
+				for _, w := range workerCounts {
+					got := b.MatMulParallel(m, w)
+					if !bitsEqual(got.Data(), want.Data()) {
+						t.Fatalf("seed %d %s p=%d workers=%d: MatMulParallel differs from MatMul",
+							seed, name, p, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Zero-weight rows and tiny batches must take the fallback paths without
+// diverging.
+func TestLeftMulParallelEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tiny := Compress(redundantMatrix(rng, 3, 5, 0.6, 3))
+	v := []float64{0, -1.5, 0}
+	if !bitsEqual(tiny.VecMulParallel(v, 8), tiny.VecMul(v)) {
+		t.Fatal("tiny batch fallback diverges")
+	}
+	sp := CompressVariant(redundantMatrix(rng, 40, 12, 0.4, 3), SparseOnly)
+	zeros := make([]float64, 40)
+	if !bitsEqual(sp.VecMulParallel(zeros, 7), sp.VecMul(zeros)) {
+		t.Fatal("all-zero vector diverges on SparseOnly")
+	}
+	m := matrix.NewDense(1, 40)
+	fillRand(rng, m)
+	if !bitsEqual(sp.MatMulParallel(m, 7).Data(), sp.MatMul(m).Data()) {
+		t.Fatal("p=1 MatMul fallback diverges")
+	}
+}
+
+func TestLeftMulParallelDimMismatchPanics(t *testing.T) {
+	b := Compress(matrix.NewDense(30, 4))
+	for name, call := range map[string]func(){
+		"VecMulParallel": func() { b.VecMulParallel(make([]float64, 4), 4) },
+		"MatMulParallel": func() { b.MatMulParallel(matrix.NewDense(2, 3), 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// BenchmarkVecMulBackward measures the two backward-scan strategies the
+// split kernel can use after the sequential parent pushes: keeping the
+// r[col] scatter sequential vs sharding it over disjoint column ranges.
+// scatterCols is the default above a small size floor (see its comment).
+func BenchmarkVecMulBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := redundantMatrix(rng, 2000, 120, 0.6, 5)
+	batch := Compress(a)
+	t := batch.buildTree()
+	h := make([]float64, t.Len())
+	for i := range h {
+		h[i] = rng.NormFloat64()
+	}
+	leftPushSeq(t, h)
+	b.Run("sequential", func(b *testing.B) {
+		r := make([]float64, batch.cols)
+		for i := 0; i < b.N; i++ {
+			scatterSeq(t, h, r)
+		}
+	})
+	b.Run("colsharded", func(b *testing.B) {
+		r := make([]float64, batch.cols)
+		for i := 0; i < b.N; i++ {
+			scatterCols(t, h, r, 4)
+		}
+	})
+}
+
+// BenchmarkLeftMulParallel compares the sequential and parallel left-mul
+// kernels on a batch large enough for the sharding to matter.
+func BenchmarkLeftMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := redundantMatrix(rng, 4000, 100, 0.55, 5)
+	batch := Compress(a)
+	v := randVec(rng, 4000)
+	m := matrix.NewDense(24, 4000)
+	fillRand(rng, m)
+	b.Run("VecMul-seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.VecMul(v)
+		}
+	})
+	b.Run("VecMul-par", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.VecMulParallel(v, 0)
+		}
+	})
+	b.Run("MatMul-seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MatMul(m)
+		}
+	})
+	b.Run("MatMul-par", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MatMulParallel(m, 0)
+		}
+	})
+}

@@ -14,10 +14,8 @@ import (
 // one tuple of D only, so the D scan parallelizes across row shards with
 // no synchronization beyond a WaitGroup.
 //
-// Left multiplications accumulate *into* shared per-node state and would
-// need per-shard partials; they stay sequential here, matching how the
-// paper parallelizes the NN forward pass (the batch is sharded, not the
-// kernel's reduction).
+// Left multiplications accumulate *into* shared per-node state and shard
+// over accumulators instead of rows; see leftmul_parallel.go.
 
 // MulMatParallel computes A·M like MulMat, splitting the D scan over
 // workers goroutines (workers <= 0 uses GOMAXPROCS). It returns results

@@ -12,6 +12,12 @@
 // merged gradient once. Because the merge order is the batch order — never
 // the completion order — the trajectory is bitwise identical for any
 // worker count: workers=8 walks exactly the loss curve of workers=1.
+//
+// Workers left over after the group's slots are claimed shard the kernels
+// *inside* each gradient (core's parallel left/right multiplications,
+// themselves bitwise identical to the sequential kernels), so a
+// GroupSize-1 configuration still uses the whole pool without giving up
+// the serial trajectory.
 package engine
 
 import (
@@ -75,12 +81,40 @@ func New(cfg Config) *Engine {
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// GroupSize returns the configured gradients-per-update count (the
+// default applied); Train additionally clamps it to the batch count.
+func (e *Engine) GroupSize() int { return e.group }
+
+// KernelWorkers returns the goroutine count Train gives each gradient's
+// kernels when training over n batches — the pool split of the package
+// doc. n <= 0 means "unclamped" (use the configured group size).
+func (e *Engine) KernelWorkers(n int) int {
+	group := e.group
+	if n > 0 && group > n {
+		group = n
+	}
+	per := e.workers / group
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // OrderedSource is a BatchSource that accepts visit-order hints;
 // storage.Prefetcher implements it. Train announces each epoch's
 // permutation through it so prefetching stays ahead of the loop.
 type OrderedSource interface {
 	ml.BatchSource
 	SetOrder(order []int)
+}
+
+// NextOrderedSource is an OrderedSource that can additionally be told the
+// epoch after the announced one, so a prefetch window that wraps past the
+// epoch boundary aims at the next epoch's head instead of re-reading the
+// current epoch's — which matters exactly when Shuffle gives every epoch
+// a fresh permutation. storage.Prefetcher implements it.
+type NextOrderedSource interface {
+	SetNextOrder(order []int)
 }
 
 // Train runs data-parallel MGD for the given epochs: per step it fans the
@@ -95,6 +129,18 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 	group := e.group
 	if group > n && n > 0 {
 		group = n
+	}
+	// Split the pool between batch-level and kernel-level parallelism: the
+	// group's in-flight gradients claim workers first, and any leftover
+	// goroutines shard the kernels inside each gradient (workers=8 with
+	// group=1 puts all eight into the left/right multiplications). The
+	// parallel kernels are bitwise identical to the sequential ones, so
+	// this split never changes the trajectory, only the wall-clock. (The
+	// left-mul kernels replicate their read scan across shards to keep
+	// that identity, so the split trades some aggregate CPU for latency;
+	// with group >= workers it stays 1 and nothing changes.)
+	if kp, ok := m.(ml.KernelParallel); ok {
+		kp.SetKernelWorkers(e.KernelWorkers(n))
 	}
 
 	// Per-slot gradient buffers: slot s of the current group writes only
@@ -130,6 +176,13 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 		}
 		if os, ok := src.(OrderedSource); ok {
 			os.SetOrder(order)
+			// With Shuffle on, the source's wrap-around window would
+			// otherwise prefetch this epoch's head at the boundary while
+			// the next epoch starts on a fresh permutation; announce that
+			// permutation so boundary reads stay hits.
+			if ns, ok := src.(NextOrderedSource); ok && e.shuffle && epoch+1 < epochs {
+				ns.SetNextOrder(rand.New(rand.NewSource(e.seed + int64(epoch+1))).Perm(n))
+			}
 		}
 		epochStart := time.Now()
 		var loss float64

@@ -207,6 +207,64 @@ func TestEngineBeatsSerialOnSpilledStore(t *testing.T) {
 	}
 }
 
+// GroupSize 1 with a large pool routes all workers into the kernels
+// inside each gradient (the parallel left/right multiplications). Those
+// kernels are bitwise identical to the sequential ones, so the engine
+// must still walk exactly the serial ml.Train trajectory.
+func TestEngineKernelParallelMatchesSerialTrain(t *testing.T) {
+	for _, name := range []string{"lr", "svm", "nn"} {
+		d, src := testSource(t, "imagenet", 400)
+		serial := newModel(t, name, d, 21)
+		ml.Train(serial, src, 2, 0.2, nil)
+
+		eng := New(Config{Workers: 16, GroupSize: 1})
+		parallel := newModel(t, name, d, 21)
+		eng.Train(parallel, src, 2, 0.2, nil)
+
+		if diff := maxAbsDiff(flatParams(t, serial), flatParams(t, parallel)); diff != 0 {
+			t.Errorf("%s: kernel-parallel weights diverge from serial by %g (want bitwise identity)", name, diff)
+		}
+	}
+}
+
+// With Shuffle on, Train announces the next epoch's permutation so the
+// prefetch window crosses epoch boundaries into the right batches
+// (the window mechanics are pinned down by the white-box
+// TestPrefetcherWindowCrossesBoundaryIntoNextOrder); end to end, shuffled
+// training over a throttled spilled store must stay essentially all-hits.
+func TestEngineShuffleBoundaryPrefetch(t *testing.T) {
+	// Many more batches than the window depth, so a window wrapped into
+	// the *wrong* permutation head almost never covers the right one by
+	// accident.
+	const epochs, depth = 4, 8
+	d, err := data.Generate("census", 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(6)
+	st, err := storage.NewStore(t.TempDir(), "TOC", 1) // all spilled
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := New(Config{Workers: 2, GroupSize: 2, Seed: 17, Shuffle: true})
+	if err := eng.FillStore(st, d, 10); err != nil { // 60 batches
+		t.Fatal(err)
+	}
+	// Slow the simulated disk so wrongly-aimed boundary prefetches stay in
+	// flight across the epoch switch instead of draining unnoticed.
+	st.SetReadBandwidth(100 << 10)
+	pf := storage.NewPrefetcher(st, depth, 2)
+	defer pf.Close()
+	eng.Train(newModel(t, "lr", d, 23), pf, epochs, 0.2, nil)
+	// Allow a little startup scramble (the window is primed sequentially
+	// before the first SetOrder); the un-announced boundaries would cost
+	// roughly depth misses per epoch on top of that.
+	if ps := pf.Stats(); ps.Misses > 6 {
+		t.Errorf("shuffled training missed %d times (boundary prefetch broken): %+v", ps.Misses, ps)
+	}
+}
+
 // EncodeAll must equal batch-at-a-time encoding, byte for byte.
 func TestEncodeAllMatchesSerial(t *testing.T) {
 	d, err := data.Generate("kdd99", 300, 5)

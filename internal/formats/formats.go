@@ -44,6 +44,25 @@ type CompressedMatrix interface {
 	MatMul(m *matrix.Dense) *matrix.Dense
 }
 
+// ParallelOps is the optional interface of encodings whose multiplication
+// kernels can shard across goroutines. The contract is strict: each
+// parallel kernel must return results bitwise identical to its sequential
+// counterpart for any worker count (workers <= 0 picks GOMAXPROCS), so
+// callers may flip between the two freely without ever changing a
+// training trajectory. TOC implements it; schemes that decompress before
+// every operation gain nothing from it and do not.
+type ParallelOps interface {
+	CompressedMatrix
+	// MulVecParallel computes A·v with the row scan sharded.
+	MulVecParallel(v []float64, workers int) []float64
+	// MulMatParallel computes A·M with the row scan sharded.
+	MulMatParallel(m *matrix.Dense, workers int) *matrix.Dense
+	// VecMulParallel computes v·A with the accumulator space sharded.
+	VecMulParallel(v []float64, workers int) []float64
+	// MatMulParallel computes M·A with the p dimension sharded.
+	MatMulParallel(m *matrix.Dense, workers int) *matrix.Dense
+}
+
 // Encoder compresses a dense mini-batch with one scheme.
 type Encoder func(*matrix.Dense) CompressedMatrix
 

@@ -37,3 +37,7 @@ func init() {
 
 // Scale computes A.*c via Algorithm 3, adapting the concrete return type.
 func (t TOC) Scale(c float64) CompressedMatrix { return TOC{t.Batch.Scale(c)} }
+
+// TOC's kernels shard across goroutines with bitwise-identical results
+// (core's *Parallel methods promote through the embedded Batch).
+var _ ParallelOps = TOC{}

@@ -44,11 +44,13 @@ func stepBuf(buf *[]float64, np int) []float64 {
 // linGrad runs the shared GLM gradient shape — score the batch with A·w,
 // turn per-row residuals into r, aggregate with r·A — writing the flat
 // [dW..., dB] gradient into out and returning the mean loss. residual maps
-// (score+bias, label) to (loss contribution, residual numerator).
-func linGrad(x formats.CompressedMatrix, y, w []float64, bias, l2 float64,
+// (score+bias, label) to (loss contribution, residual numerator). Both
+// multiplications shard across workers goroutines when the encoding
+// supports it; the gradient is bitwise independent of the worker count.
+func linGrad(x formats.CompressedMatrix, y, w []float64, bias, l2 float64, workers int,
 	out []float64, residual func(z, yi float64) (loss, r float64)) float64 {
 	n := float64(x.Rows())
-	s := x.MulVec(w)
+	s := mulVec(x, w, workers)
 	var loss, rsum float64
 	r := make([]float64, len(s))
 	for i := range s {
@@ -59,7 +61,7 @@ func linGrad(x formats.CompressedMatrix, y, w []float64, bias, l2 float64,
 			rsum += r[i]
 		}
 	}
-	g := x.VecMul(r)
+	g := vecMul(x, r, workers)
 	for j := range g {
 		out[j] = g[j] + l2*w[j]
 	}
@@ -80,7 +82,7 @@ func (m *LinReg) NumParams() int { return len(m.W) + 1 }
 
 // Grad writes the flat [dW..., dB] squared-loss gradient of Equation 3.
 func (m *LinReg) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
-	return linGrad(x, y, m.W, m.B, m.L2, out, func(z, yi float64) (float64, float64) {
+	return linGrad(x, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
 		d := z - yi
 		return 0.5 * d * d, d
 	})
@@ -94,7 +96,7 @@ func (m *LogReg) NumParams() int { return len(m.W) + 1 }
 
 // Grad writes the flat [dW..., dB] logistic gradient (σ(Ah) − y)ᵀA.
 func (m *LogReg) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
-	return linGrad(x, y, m.W, m.B, m.L2, out, func(z, yi float64) (float64, float64) {
+	return linGrad(x, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
 		p := sigmoid(z)
 		pc := clampProb(p)
 		return -(yi*math.Log(pc) + (1-yi)*math.Log(1-pc)), p - yi
@@ -110,7 +112,7 @@ func (m *SVM) NumParams() int { return len(m.W) + 1 }
 // Grad writes the flat [dW..., dB] hinge subgradient: rows inside the
 // margin contribute −y·x.
 func (m *SVM) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
-	return linGrad(x, y, m.W, m.B, m.L2, out, func(z, yi float64) (float64, float64) {
+	return linGrad(x, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
 		s := 2*yi - 1 // {0,1} -> {-1,+1}
 		if margin := s * z; margin < 1 {
 			return 1 - margin, -s
@@ -215,7 +217,7 @@ func (n *NN) Grad(x formats.CompressedMatrix, y []float64, out []float64) float6
 		var dW *matrix.Dense
 		if l == 0 {
 			// dW0 = Aᵀ·delta = (deltaᵀ·A)ᵀ — M·A on the compressed input.
-			dW = x.MatMul(delta.Transpose()).Transpose()
+			dW = matMul(x, delta.Transpose(), n.Workers).Transpose()
 		} else {
 			dW = acts[l-1].Transpose().MulMat(delta)
 		}

@@ -1,0 +1,59 @@
+package ml
+
+import (
+	"toc/internal/formats"
+	"toc/internal/matrix"
+)
+
+// Kernel dispatch: every model reaches the compressed mini-batch through
+// these four helpers, which route a Table 1 multiplication to the
+// encoding's parallel kernel when one exists (formats.ParallelOps) and
+// the model's worker knob asks for more than one goroutine. The parallel
+// kernels are bitwise identical to the sequential ones, so the knob
+// changes wall-clock only — a trajectory computed at Workers=8 matches
+// Workers=1 exactly.
+
+// KernelParallel is implemented by models whose compressed-kernel calls
+// can use multiple goroutines per gradient. Every model NewModel returns
+// implements it.
+type KernelParallel interface {
+	// SetKernelWorkers sets the goroutine count each kernel call may use;
+	// 0 or 1 keeps the kernels sequential.
+	SetKernelWorkers(workers int)
+}
+
+func mulVec(x formats.CompressedMatrix, v []float64, workers int) []float64 {
+	if workers > 1 {
+		if p, ok := x.(formats.ParallelOps); ok {
+			return p.MulVecParallel(v, workers)
+		}
+	}
+	return x.MulVec(v)
+}
+
+func vecMul(x formats.CompressedMatrix, v []float64, workers int) []float64 {
+	if workers > 1 {
+		if p, ok := x.(formats.ParallelOps); ok {
+			return p.VecMulParallel(v, workers)
+		}
+	}
+	return x.VecMul(v)
+}
+
+func mulMat(x formats.CompressedMatrix, m *matrix.Dense, workers int) *matrix.Dense {
+	if workers > 1 {
+		if p, ok := x.(formats.ParallelOps); ok {
+			return p.MulMatParallel(m, workers)
+		}
+	}
+	return x.MulMat(m)
+}
+
+func matMul(x formats.CompressedMatrix, m *matrix.Dense, workers int) *matrix.Dense {
+	if workers > 1 {
+		if p, ok := x.(formats.ParallelOps); ok {
+			return p.MatMulParallel(m, workers)
+		}
+	}
+	return x.MatMul(m)
+}

@@ -16,9 +16,16 @@ type LinReg struct {
 	W  []float64 // weight vector, one per feature
 	B  float64   // bias
 	L2 float64   // optional ridge penalty coefficient
+	// Workers is the goroutine count each compressed-kernel call may use
+	// (0 or 1 = sequential). Parallel kernels are bitwise identical to
+	// sequential ones, so it changes wall-clock only.
+	Workers int
 
 	step []float64 // cached Step gradient buffer
 }
+
+// SetKernelWorkers sets the per-kernel goroutine count (KernelParallel).
+func (m *LinReg) SetKernelWorkers(workers int) { m.Workers = workers }
 
 // NewLinReg creates a zero-initialized linear regression model.
 func NewLinReg(dims int) *LinReg { return &LinReg{W: make([]float64, dims)} }
@@ -35,7 +42,7 @@ func (m *LinReg) Step(x formats.CompressedMatrix, y []float64, lr float64) float
 
 // Loss evaluates mean squared loss.
 func (m *LinReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	p := x.MulVec(m.W)
+	p := mulVec(x, m.W, m.Workers)
 	var loss float64
 	for i := range p {
 		d := p[i] + m.B - y[i]
@@ -46,7 +53,7 @@ func (m *LinReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
 
 // Predict returns the real-valued scores A·w + b.
 func (m *LinReg) Predict(x formats.CompressedMatrix) []float64 {
-	p := x.MulVec(m.W)
+	p := mulVec(x, m.W, m.Workers)
 	for i := range p {
 		p[i] += m.B
 	}
@@ -58,9 +65,15 @@ type LogReg struct {
 	W  []float64
 	B  float64
 	L2 float64
+	// Workers is the goroutine count each compressed-kernel call may use
+	// (0 or 1 = sequential).
+	Workers int
 
 	step []float64 // cached Step gradient buffer
 }
+
+// SetKernelWorkers sets the per-kernel goroutine count (KernelParallel).
+func (m *LogReg) SetKernelWorkers(workers int) { m.Workers = workers }
 
 // NewLogReg creates a zero-initialized logistic regression model.
 func NewLogReg(dims int) *LogReg { return &LogReg{W: make([]float64, dims)} }
@@ -75,7 +88,7 @@ func (m *LogReg) Step(x formats.CompressedMatrix, y []float64, lr float64) float
 
 // Loss evaluates mean logistic loss.
 func (m *LogReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	s := x.MulVec(m.W)
+	s := mulVec(x, m.W, m.Workers)
 	var loss float64
 	for i := range s {
 		p := clampProb(sigmoid(s[i] + m.B))
@@ -86,7 +99,7 @@ func (m *LogReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
 
 // Score returns the probability of class 1 per row (used by one-vs-rest).
 func (m *LogReg) Score(x formats.CompressedMatrix) []float64 {
-	s := x.MulVec(m.W)
+	s := mulVec(x, m.W, m.Workers)
 	for i := range s {
 		s[i] = sigmoid(s[i] + m.B)
 	}
@@ -112,9 +125,15 @@ type SVM struct {
 	W  []float64
 	B  float64
 	L2 float64
+	// Workers is the goroutine count each compressed-kernel call may use
+	// (0 or 1 = sequential).
+	Workers int
 
 	step []float64 // cached Step gradient buffer
 }
+
+// SetKernelWorkers sets the per-kernel goroutine count (KernelParallel).
+func (m *SVM) SetKernelWorkers(workers int) { m.Workers = workers }
 
 // NewSVM creates a zero-initialized linear SVM.
 func NewSVM(dims int) *SVM { return &SVM{W: make([]float64, dims), L2: 1e-4} }
@@ -130,7 +149,7 @@ func (m *SVM) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 
 
 // Loss evaluates mean hinge loss.
 func (m *SVM) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	s := x.MulVec(m.W)
+	s := mulVec(x, m.W, m.Workers)
 	var loss float64
 	for i := range s {
 		yi := 2*y[i] - 1
@@ -143,7 +162,7 @@ func (m *SVM) Loss(x formats.CompressedMatrix, y []float64) float64 {
 
 // Score returns the signed margins per row (used by one-vs-rest).
 func (m *SVM) Score(x formats.CompressedMatrix) []float64 {
-	s := x.MulVec(m.W)
+	s := mulVec(x, m.W, m.Workers)
 	for i := range s {
 		s[i] += m.B
 	}

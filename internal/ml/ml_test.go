@@ -300,3 +300,50 @@ func TestNewModelNames(t *testing.T) {
 		t.Error("multiclass nn output width wrong")
 	}
 }
+
+// The kernel-worker knob must never change a gradient: every model's Grad
+// at Workers=N is bitwise identical to Workers=1 on a TOC batch, because
+// the parallel kernels are bitwise identical to the sequential ones. DEN
+// does not implement formats.ParallelOps, so the dispatch must also fall
+// back cleanly.
+func TestKernelWorkersGradBitwiseIdentical(t *testing.T) {
+	d, err := data.Generate("imagenet", 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(4)
+	x, y := d.Batch(0, 200)
+	for _, method := range []string{"TOC", "DEN"} {
+		c := formats.MustGet(method)(x)
+		for _, name := range []string{"linreg", "lr", "svm", "nn"} {
+			mk := func() GradModel {
+				m, err := NewModel(name, x.Cols(), d.Classes, 0.2, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m.(GradModel)
+			}
+			serial := mk()
+			want := make([]float64, serial.NumParams())
+			wantLoss := serial.Grad(c, y, want)
+			for _, workers := range []int{2, 7, 16} {
+				m := mk()
+				kp, ok := m.(KernelParallel)
+				if !ok {
+					t.Fatalf("%s does not implement KernelParallel", name)
+				}
+				kp.SetKernelWorkers(workers)
+				got := make([]float64, m.NumParams())
+				gotLoss := m.Grad(c, y, got)
+				if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+					t.Fatalf("%s/%s workers=%d: loss %g != %g", method, name, workers, gotLoss, wantLoss)
+				}
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("%s/%s workers=%d: gradient differs at %d", method, name, workers, i)
+					}
+				}
+			}
+		}
+	}
+}

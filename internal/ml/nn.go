@@ -24,9 +24,16 @@ type NN struct {
 	B [][]float64
 	// Classes is the number of classes (2 with a single sigmoid output).
 	Classes int
+	// Workers is the goroutine count the compressed input-layer kernels
+	// (A·M forward, M·A backward) may use; 0 or 1 = sequential. Parallel
+	// kernels are bitwise identical, so it changes wall-clock only.
+	Workers int
 
 	step []float64 // cached Step gradient buffer
 }
+
+// SetKernelWorkers sets the per-kernel goroutine count (KernelParallel).
+func (n *NN) SetKernelWorkers(workers int) { n.Workers = workers }
 
 // NewNN builds a network with the given hidden layer widths for an input
 // of dims features. For classes == 2 the output is one sigmoid unit; for
@@ -64,7 +71,7 @@ func (n *NN) forward(x formats.CompressedMatrix) []*matrix.Dense {
 	for l := range n.W {
 		var z *matrix.Dense
 		if l == 0 {
-			z = x.MulMat(n.W[0]) // A·M on the compressed input
+			z = mulMat(x, n.W[0], n.Workers) // A·M on the compressed input
 		} else {
 			z = h.MulMat(n.W[l])
 		}

@@ -34,6 +34,16 @@ func NewOneVsRest(classes int, newModel func() BinaryClassifier) *OneVsRest {
 	return o
 }
 
+// SetKernelWorkers forwards the per-kernel goroutine count to every
+// per-class model that supports it (KernelParallel).
+func (o *OneVsRest) SetKernelWorkers(workers int) {
+	for _, m := range o.Models {
+		if kp, ok := m.(KernelParallel); ok {
+			kp.SetKernelWorkers(workers)
+		}
+	}
+}
+
 // Step updates every per-class model on its rest-relabelled copy of the
 // batch, returning the mean of the per-class losses.
 func (o *OneVsRest) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 {

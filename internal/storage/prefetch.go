@@ -42,21 +42,26 @@ type entry struct {
 // overlapped with compute. It predicts the visit sequence from an order
 // hint (SetOrder, which the engine refreshes with its per-epoch
 // permutation; the default is sequential) and keeps up to depth upcoming
-// spilled batches resident or in flight, wrapping around the epoch
-// boundary. It implements the ml.BatchSource contract and is safe for
-// concurrent Batch calls.
+// spilled batches resident or in flight. At the epoch boundary the window
+// continues into the sequence announced by SetNextOrder when there is one
+// and wraps to the current head otherwise. It implements the
+// ml.BatchSource contract and is safe for concurrent Batch calls,
+// including duplicate indices: callers racing for the same in-flight
+// batch share one read.
 type Prefetcher struct {
 	store *Store
 	depth int
 	jobs  chan fetchJob
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	order  []int       // predicted visit sequence (a permutation of 0..n-1)
-	posOf  []int       // batch index -> position in order
-	cache  map[int]*entry
-	stats  PrefetchStats
-	closed bool
+	mu      sync.Mutex
+	order   []int // predicted visit sequence (a permutation of 0..n-1)
+	next    []int // the following epoch's sequence; nil = wrap into order
+	posOf   []int // batch index -> position in order
+	lastPos int   // deepest consumed position in order (-1 before any)
+	cache   map[int]*entry
+	stats   PrefetchStats
+	closed  bool
 }
 
 // NewPrefetcher wraps a fully-loaded store (no further Add calls) with a
@@ -78,12 +83,13 @@ func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
 		}
 	}
 	p := &Prefetcher{
-		store: s,
-		depth: depth,
-		jobs:  make(chan fetchJob, depth+readers),
-		order: make([]int, n),
-		posOf: make([]int, n),
-		cache: make(map[int]*entry, depth+1),
+		store:   s,
+		depth:   depth,
+		jobs:    make(chan fetchJob, depth+readers),
+		order:   make([]int, n),
+		posOf:   make([]int, n),
+		lastPos: -1,
+		cache:   make(map[int]*entry, depth+1),
 	}
 	for i := range p.order {
 		p.order[i] = i
@@ -109,27 +115,53 @@ func (p *Prefetcher) reader() {
 
 // SetOrder replaces the predicted visit sequence (a permutation of batch
 // indices) and prefetches its head. The engine calls this with its seeded
-// per-epoch permutation before each epoch.
+// per-epoch permutation before each epoch. Any next-epoch sequence set by
+// SetNextOrder is cleared: it normally *is* this order, already consumed.
 func (p *Prefetcher) SetOrder(order []int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.order = append(p.order[:0], order...)
+	p.next = nil
+	p.lastPos = -1
 	for pos, idx := range p.order {
 		p.posOf[idx] = pos
 	}
 	p.scheduleLocked(-1)
 }
 
+// SetNextOrder announces the epoch *after* the current order, so the
+// window's wrap past the boundary prefetches the right batches. Without
+// it the wrap falls back to the current order's head — correct for
+// in-order epochs, wasted work when every epoch is freshly permuted. The
+// engine calls this right after SetOrder whenever Shuffle is on.
+func (p *Prefetcher) SetNextOrder(order []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next = append(p.next[:0], order...)
+	p.scheduleLocked(p.lastPos)
+}
+
 // scheduleLocked queues background reads for the spilled batches within
-// depth positions after pos in the predicted order (wrapping around). Must
-// be called with p.mu held.
+// depth positions after pos in the predicted order, continuing into the
+// announced next epoch at the boundary (or wrapping to the current head
+// when none is announced). Must be called with p.mu held.
 func (p *Prefetcher) scheduleLocked(pos int) {
 	n := len(p.order)
 	if n == 0 || p.closed {
 		return
 	}
 	for k := 1; k <= p.depth; k++ {
-		idx := p.order[(pos+k)%n]
+		var idx int
+		if at := pos + k; at < n {
+			idx = p.order[at]
+		} else if p.next != nil {
+			if at-n >= len(p.next) {
+				return
+			}
+			idx = p.next[at-n]
+		} else {
+			idx = p.order[at%n]
+		}
 		if p.store.Resident(idx) {
 			continue
 		}
@@ -153,14 +185,28 @@ func (p *Prefetcher) NumBatches() int { return p.store.NumBatches() }
 // Batch returns mini-batch i, consuming its prefetched copy when one is
 // ready or in flight, and advances the prefetch window past i's position
 // in the predicted order.
+//
+// A completed entry is consumed (dropped from the cache) immediately; an
+// in-flight entry stays cached until it lands, so concurrent Batch calls
+// for the same index share the one outstanding read instead of the loser
+// issuing a duplicate synchronous read and being miscounted as a miss.
 func (p *Prefetcher) Batch(i int) (formats.CompressedMatrix, []float64) {
 	p.mu.Lock()
 	en := p.cache[i]
+	inFlight := false
 	if en != nil {
-		delete(p.cache, i) // consumed; re-prefetched on the next lap
 		p.stats.Hits++
+		select {
+		case <-en.done:
+			delete(p.cache, i) // consumed; re-prefetched on the next lap
+		default:
+			inFlight = true
+		}
 	} else if !p.store.Resident(i) {
 		p.stats.Misses++
+	}
+	if pos := p.posOf[i]; pos > p.lastPos {
+		p.lastPos = pos
 	}
 	p.scheduleLocked(p.posOf[i])
 	p.mu.Unlock()
@@ -168,14 +214,23 @@ func (p *Prefetcher) Batch(i int) (formats.CompressedMatrix, []float64) {
 	if en == nil {
 		return p.store.Batch(i) // resident, or a synchronous miss
 	}
-	select {
-	case <-en.done: // landed ahead of time: no stall
-	default:
-		start := time.Now()
-		<-en.done
-		stall := time.Since(start)
+	if inFlight {
+		select {
+		case <-en.done: // landed between the unlock and here: no stall
+		default:
+			start := time.Now()
+			<-en.done
+			stall := time.Since(start)
+			p.mu.Lock()
+			p.stats.Stall += stall
+			p.mu.Unlock()
+		}
+		// First consumer to get here retires the entry; sharers that
+		// arrive later find a newer entry (or none) and leave it alone.
 		p.mu.Lock()
-		p.stats.Stall += stall
+		if p.cache[i] == en {
+			delete(p.cache, i)
+		}
 		p.mu.Unlock()
 	}
 	return en.c, en.y

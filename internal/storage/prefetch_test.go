@@ -123,6 +123,114 @@ func TestPrefetcherConcurrentReads(t *testing.T) {
 	}
 }
 
+// Concurrent Batch calls for the same in-flight index must share the one
+// outstanding read: no duplicate synchronous read, no phantom miss. The
+// store's bandwidth throttle keeps the primed reads in flight long enough
+// that every caller arrives before they land.
+func TestPrefetcherDuplicateInFlightShared(t *testing.T) {
+	const n, depth, dupes = 6, 5, 8
+	st := spilledStore(t, n)
+	st.SetReadBandwidth(4096) // a few hundred bytes per batch → tens of ms per read
+	pf := NewPrefetcher(st, depth, 2)
+	defer pf.Close()
+	// NewPrefetcher has primed batches 0..depth-1; hit them all, many
+	// callers per index, while the reads are still in flight.
+	var wg sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		for d := 0; d < dupes; d++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, y := pf.Batch(i)
+				if c.Rows() != 4 || len(y) != 4 {
+					t.Errorf("batch %d: rows=%d labels=%d", i, c.Rows(), len(y))
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	// The wrap-around window may legitimately re-prefetch consumed batches,
+	// but duplicate callers must never add synchronous reads on top: without
+	// sharing, up to depth*(dupes-1) extra reads would show up here.
+	if got := st.Stats().Reads; got > n+depth {
+		t.Errorf("store reads = %d, want <= %d (duplicate callers must share one read)", got, n+depth)
+	}
+	ps := pf.Stats()
+	if ps.Misses != 0 {
+		t.Errorf("Misses = %d, want 0: %+v", ps.Misses, ps)
+	}
+	if ps.Hits != depth*dupes {
+		t.Errorf("Hits = %d, want %d", ps.Hits, depth*dupes)
+	}
+}
+
+// Hammer Batch with duplicate indices from many goroutines (run under
+// -race in CI): every request must be answered correctly and counted as
+// exactly one hit or miss.
+func TestPrefetcherDuplicateIndexHammer(t *testing.T) {
+	const n, goroutines, rounds = 10, 16, 8
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 4, 3)
+	defer pf.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r*3) % n // plenty of cross-goroutine collisions
+				c, y := pf.Batch(i)
+				if c.Rows() != 4 || len(y) != 4 {
+					t.Errorf("batch %d: rows=%d labels=%d", i, c.Rows(), len(y))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ps := pf.Stats()
+	if ps.Hits+ps.Misses != goroutines*rounds {
+		t.Errorf("Hits+Misses = %d, want %d: %+v", ps.Hits+ps.Misses, goroutines*rounds, ps)
+	}
+}
+
+// With the next epoch's permutation announced, the window that crosses
+// the epoch boundary must hold exactly the *next* order's head — without
+// SetNextOrder it would wrap around and re-prefetch the current epoch's
+// head, which a fresh permutation then never asks for first.
+func TestPrefetcherWindowCrossesBoundaryIntoNextOrder(t *testing.T) {
+	const n, depth = 10, 4
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, depth, 2)
+	defer pf.Close()
+	o1 := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	o2 := []int{7, 2, 9, 4, 0, 8, 1, 6, 3, 5}
+	pf.SetOrder(o1)
+	pf.SetNextOrder(o2)
+	for _, i := range o1 {
+		pf.Batch(i)
+	}
+	// The tail Batch calls scheduled past the boundary: the cache must now
+	// hold o2's head and nothing else (in particular not o1's head, which
+	// the un-announced wrap would have re-read).
+	pf.mu.Lock()
+	for k := 0; k < depth; k++ {
+		if _, ok := pf.cache[o2[k]]; !ok {
+			t.Errorf("next epoch's head batch %d not prefetched across the boundary", o2[k])
+		}
+	}
+	if len(pf.cache) != depth {
+		t.Errorf("cache holds %d entries, want exactly the %d-deep next-order head", len(pf.cache), depth)
+	}
+	pf.mu.Unlock()
+	pf.SetOrder(o2)
+	for _, i := range o2 {
+		pf.Batch(i)
+	}
+	if ps := pf.Stats(); ps.Misses != 0 || ps.Hits != 2*n {
+		t.Errorf("shuffled boundary scan: %+v, want 0 misses / %d hits", ps, 2*n)
+	}
+}
+
 // Resident batches bypass the prefetcher counters entirely.
 func TestPrefetcherResidentBypass(t *testing.T) {
 	st, err := NewStore(t.TempDir(), "TOC", 1<<30) // everything resident

@@ -52,12 +52,13 @@ type Store struct {
 	method string
 	codec  formats.Codec
 	budget int64
+	dir    string
 
 	resident []formats.CompressedMatrix // nil for spilled batches
 	labels   [][]float64
 	spans    []span // zero length for resident batches
 
-	file      *os.File
+	file      *os.File // spill backing file; created lazily on first spill
 	wpos      int64
 	bandwidth int64 // simulated read bandwidth in bytes/s; 0 = unthrottled
 
@@ -68,16 +69,16 @@ type Store struct {
 // NewStore creates a store for the given scheme. budgetBytes bounds the
 // compressed bytes kept resident; batches beyond it spill to a temp file
 // under dir (""  means the OS temp dir). A budget <= 0 spills everything.
+//
+// The spill file is created lazily on the first spill, so a store whose
+// batches all fit the budget holds no file handle and leaks nothing even
+// if Close is never called.
 func NewStore(dir, method string, budgetBytes int64) (*Store, error) {
 	codec, ok := formats.GetCodec(method)
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown method %q", method)
 	}
-	f, err := os.CreateTemp(dir, "toc-spill-"+filepath.Base(method)+"-*.bin")
-	if err != nil {
-		return nil, fmt.Errorf("storage: create spill file: %w", err)
-	}
-	return &Store{method: method, codec: codec, budget: budgetBytes, file: f}, nil
+	return &Store{method: method, codec: codec, budget: budgetBytes, dir: dir}, nil
 }
 
 // Method returns the scheme name this store encodes with.
@@ -117,18 +118,26 @@ func (s *Store) AddCompressed(c formats.CompressedMatrix, y []float64) error {
 		return fmt.Errorf("storage: batch has %d rows but %d labels", c.Rows(), len(y))
 	}
 	size := int64(c.CompressedSize())
-	s.labels = append(s.labels, append([]float64(nil), y...))
 	if s.stats.ResidentBytes+size <= s.budget {
+		s.labels = append(s.labels, append([]float64(nil), y...))
 		s.resident = append(s.resident, c)
 		s.spans = append(s.spans, span{})
 		s.stats.ResidentBatches++
 		s.stats.ResidentBytes += size
 		return nil
 	}
+	if s.file == nil {
+		f, err := os.CreateTemp(s.dir, "toc-spill-"+filepath.Base(s.method)+"-*.bin")
+		if err != nil {
+			return fmt.Errorf("storage: create spill file: %w", err)
+		}
+		s.file = f
+	}
 	img := c.Serialize()
 	if _, err := s.file.WriteAt(img, s.wpos); err != nil {
 		return fmt.Errorf("storage: spill write: %w", err)
 	}
+	s.labels = append(s.labels, append([]float64(nil), y...))
 	s.resident = append(s.resident, nil)
 	s.spans = append(s.spans, span{off: s.wpos, length: int64(len(img))})
 	s.wpos += int64(len(img))
@@ -185,14 +194,24 @@ func (s *Store) Stats() Stats {
 
 // TotalCompressedBytes returns resident + spilled compressed size.
 func (s *Store) TotalCompressedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.stats.ResidentBytes + s.stats.SpilledBytes
 }
 
 // Spilled reports whether any batch lives on disk.
-func (s *Store) Spilled() bool { return s.stats.SpilledBatches > 0 }
+func (s *Store) Spilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.SpilledBatches > 0
+}
 
-// Close removes the spill file.
+// Close removes the spill file; a fully-resident store has none and
+// closes trivially.
 func (s *Store) Close() error {
+	if s.file == nil {
+		return nil
+	}
 	name := s.file.Name()
 	if err := s.file.Close(); err != nil {
 		os.Remove(name)

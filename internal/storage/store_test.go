@@ -3,6 +3,7 @@ package storage
 import (
 	"math/rand"
 	"os"
+	"sync"
 	"testing"
 
 	"toc/internal/data"
@@ -154,6 +155,96 @@ func TestLabelMismatch(t *testing.T) {
 	if err := s.Add(matrix.NewDense(3, 2), []float64{1}); err == nil {
 		t.Fatal("label length mismatch should error")
 	}
+}
+
+// A store whose batches all fit the budget must never create a spill
+// file: nothing to leak when Close is skipped, nothing left behind in dir.
+func TestFullyResidentStoreCreatesNoSpillFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, "TOC", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := testBatches(t, 4, 10, 8)
+	for i := range xs {
+		if err := s.Add(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("fully-resident store created %d files in dir", len(entries))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close without spill file: %v", err)
+	}
+}
+
+// The spill file appears exactly when the budget first overflows.
+func TestSpillFileCreatedLazilyOnFirstSpill(t *testing.T) {
+	dir := t.TempDir()
+	xs, ys := testBatches(t, 3, 20, 10)
+	probe := formats.MustGet("TOC")(xs[0]).CompressedSize()
+	s, err := NewStore(dir, "TOC", int64(probe)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Add(xs[0], ys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatal("spill file created before any batch spilled")
+	}
+	for i := 1; i < 3; i++ {
+		if err := s.Add(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Spilled() {
+		t.Fatal("expected later batches to spill")
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Fatal("expected exactly one spill file after spilling")
+	}
+	for i := range xs {
+		c, _ := s.Batch(i)
+		if !c.Decode().Equal(xs[i]) {
+			t.Fatalf("batch %d mismatch", i)
+		}
+	}
+}
+
+// Spilled and TotalCompressedBytes promise the Stats mutex contract;
+// exercised under -race against concurrent spilled reads.
+func TestStatsAccessorsConcurrentWithBatch(t *testing.T) {
+	xs, ys := testBatches(t, 6, 10, 8)
+	s, err := NewStore(t.TempDir(), "TOC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := range xs {
+		if err := s.Add(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range xs {
+				s.Batch(i)
+				if !s.Spilled() {
+					t.Error("Spilled() = false on an all-spilled store")
+				}
+				if s.TotalCompressedBytes() <= 0 {
+					t.Error("TotalCompressedBytes() <= 0")
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestCloseRemovesSpillFile(t *testing.T) {

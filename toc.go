@@ -73,6 +73,14 @@ func Deserialize(img []byte) (*Batch, error) { return core.Deserialize(img) }
 // schemes (Gzip, Snappy).
 type CompressedMatrix = formats.CompressedMatrix
 
+// ParallelOps is the optional interface of encodings whose multiplication
+// kernels shard across goroutines — including the left multiplications
+// v·A and M·A, which shard over accumulators rather than rows. Every
+// parallel kernel returns results bitwise identical to its sequential
+// counterpart for any worker count, so switching worker counts never
+// changes a training trajectory. TOC (and *Batch) implements it.
+type ParallelOps = formats.ParallelOps
+
 // Codec pairs a scheme's encoder with its wire decoder.
 type Codec = formats.Codec
 
@@ -138,11 +146,21 @@ func EvaluateError(m Model, src BatchSource) float64 { return ml.EvaluateError(m
 // NewModel returns implements it.
 type GradModel = ml.GradModel
 
+// KernelParallel is a Model whose compressed-kernel calls (the Table 1
+// multiplications) can use multiple goroutines per gradient; every model
+// NewModel returns implements it. The engine sets it automatically from
+// its worker pool; serial callers may set it directly (for example
+// model.(toc.KernelParallel).SetKernelWorkers(8)) to parallelize the
+// kernels inside ml.Train, Loss and Predict without changing any result.
+type KernelParallel = ml.KernelParallel
+
 // Engine is the concurrent mini-batch training engine: it shards
 // compression across a worker pool, runs data-parallel MGD with
 // deterministic batch-order gradient merging (the trajectory is identical
-// for any worker count), and keeps the spill prefetcher aimed at the
-// upcoming batches.
+// for any worker count), routes workers left over after the group's slots
+// into the parallel kernels inside each gradient, and keeps the spill
+// prefetcher aimed at the upcoming batches — including across shuffled
+// epoch boundaries.
 type Engine = engine.Engine
 
 // EngineConfig sizes the engine: Workers, GroupSize, Seed, Shuffle.
