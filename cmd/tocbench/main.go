@@ -5,26 +5,41 @@
 //	tocbench -list
 //	tocbench -run fig5
 //	tocbench -run all -scale 0.5
+//	tocbench -run spillscale -csv spillscale.csv
 //
 // Each experiment prints a paper-style table; EXPERIMENTS.md records the
 // expected shapes. -scale trades runtime for fidelity (1.0 = default).
+// -csv additionally appends every table to a CSV file, which is what CI
+// uploads as an artifact so BENCH_* trajectories compare across PRs.
+//
+// The spill experiments (scaling's spill regime, spillscale, the
+// out-of-core table cells) take the storage layer's knobs:
+// -spill-shards/-spill-dirs spread the spill, -disk-model picks how the
+// simulated bandwidth is enforced (per-request vs shared-bucket) and
+// -evict picks the residency policy.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"toc/internal/bench"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7, scaling) or 'all'")
-		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "extra worker count for the scaling experiment's sweep (all regimes, incl. the left-mul kernels)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run        = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7, scaling, spillscale) or 'all'")
+		scale      = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "extra worker count for the scaling experiments' sweeps")
+		spillShard = flag.Int("spill-shards", 0, "spill shard count for the out-of-core experiments; spillscale adds it to its 1/2/4 sweep")
+		spillDirs  = flag.String("spill-dirs", "", "comma-separated spill shard directories (models distinct devices)")
+		diskModel  = flag.String("disk-model", "", "override the spill experiments' bandwidth model: per-request or shared-bucket")
+		evict      = flag.String("evict", "", "override the spill experiments' residency policy: first-fit, largest-first or access-order")
+		csvPath    = flag.String("csv", "", "also append every table to this CSV file")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -32,7 +47,7 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, id := range bench.IDs() {
 			e, _ := bench.Get(id)
-			fmt.Printf("  %-8s %s\n", id, e.Title)
+			fmt.Printf("  %-10s %s\n", id, e.Title)
 		}
 		if *run == "" && !*list {
 			fmt.Println("\nrun one with: tocbench -run <id>")
@@ -44,6 +59,23 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.SpillShards = *spillShard
+	cfg.DiskModel = *diskModel
+	cfg.Evict = *evict
+	if *spillDirs != "" {
+		cfg.SpillDirs = strings.Split(*spillDirs, ",")
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tocbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -61,5 +93,11 @@ func main() {
 			os.Exit(1)
 		}
 		table.Render(os.Stdout)
+		if csvFile != nil {
+			if err := table.RenderCSV(csvFile); err != nil {
+				fmt.Fprintf(os.Stderr, "tocbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

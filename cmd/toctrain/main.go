@@ -7,6 +7,16 @@
 //	toctrain -dataset imagenet -rows 4000 -model lr -method TOC
 //	toctrain -dataset mnist -model nn -method CSR -budget 500000
 //	toctrain -dataset mnist -model lr -budget 500000 -workers 8
+//	toctrain -dataset mnist -model lr -budget 500000 -workers 8 \
+//	    -spill-shards 4 -disk-model shared-bucket -seek 2ms -evict largest-first
+//
+// The spill layer is configurable: -spill-shards/-spill-dirs spread the
+// spill across files/directories (prefetch reads distinct shards
+// concurrently), -disk-model picks how -bw is enforced (per-request:
+// aggregate scales with queue depth; shared-bucket: aggregate capped per
+// device, with -seek serialized per shard), -evict picks which batches
+// stay resident, and -prefetch-bytes bounds the prefetch window by
+// compressed bytes.
 //
 // With -workers N (N != 1) the concurrent engine takes over: ingest
 // compression is sharded across the pool, training is data-parallel with
@@ -25,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"toc"
@@ -34,20 +45,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("toctrain: ")
 	var (
-		dataset   = flag.String("dataset", "census", "dataset name")
-		rows      = flag.Int("rows", 4000, "dataset rows")
-		modelName = flag.String("model", "lr", "model: linreg, lr, svm, nn")
-		method    = flag.String("method", "TOC", "mini-batch encoding method")
-		batchSize = flag.Int("batch", 250, "mini-batch rows")
-		epochs    = flag.Int("epochs", 5, "training epochs")
-		lr        = flag.Float64("lr", 0.3, "learning rate")
-		budget    = flag.Int64("budget", 0, "memory budget bytes (0 = unlimited)")
-		bandwidth = flag.Int64("bw", 150<<20, "simulated disk read bandwidth bytes/s")
-		seed      = flag.Int64("seed", 1, "random seed")
-		hidden    = flag.Float64("hidden", 0.25, "NN hidden layer scale (1.0 = paper's 200/50)")
-		workers   = flag.Int("workers", 1, "worker pool size; != 1 enables the concurrent engine (0 = GOMAXPROCS)")
-		prefetch  = flag.Int("prefetch", 16, "spill prefetch window depth (engine mode)")
-		group     = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory, with all workers sharding each gradient's kernels)")
+		dataset    = flag.String("dataset", "census", "dataset name")
+		rows       = flag.Int("rows", 4000, "dataset rows")
+		modelName  = flag.String("model", "lr", "model: linreg, lr, svm, nn")
+		method     = flag.String("method", "TOC", "mini-batch encoding method")
+		batchSize  = flag.Int("batch", 250, "mini-batch rows")
+		epochs     = flag.Int("epochs", 5, "training epochs")
+		lr         = flag.Float64("lr", 0.3, "learning rate")
+		budget     = flag.Int64("budget", 0, "memory budget bytes (0 = unlimited)")
+		bandwidth  = flag.Int64("bw", 150<<20, "simulated disk read bandwidth bytes/s")
+		seed       = flag.Int64("seed", 1, "random seed")
+		hidden     = flag.Float64("hidden", 0.25, "NN hidden layer scale (1.0 = paper's 200/50)")
+		workers    = flag.Int("workers", 1, "worker pool size; != 1 enables the concurrent engine (0 = GOMAXPROCS)")
+		prefetch   = flag.Int("prefetch", 16, "spill prefetch window depth in batches (engine mode)")
+		prefBytes  = flag.Int64("prefetch-bytes", 0, "bound the prefetch window by compressed bytes instead of only batch count (0 = off)")
+		group      = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory, with all workers sharding each gradient's kernels)")
+		spillShard = flag.Int("spill-shards", 0, "number of spill files, read concurrently by the prefetcher (0 = one, or one per -spill-dirs entry)")
+		spillDirs  = flag.String("spill-dirs", "", "comma-separated directories for spill shards (models distinct devices)")
+		diskModel  = flag.String("disk-model", "per-request", "bandwidth enforcement: per-request (aggregate scales with queue depth) or shared-bucket (aggregate capped per device)")
+		seek       = flag.Duration("seek", 0, "simulated per-read access latency (e.g. 2ms; serialized per shard under shared-bucket)")
+		evict      = flag.String("evict", "first-fit", "spill residency policy: first-fit, largest-first or access-order")
 	)
 	flag.Parse()
 
@@ -60,12 +77,29 @@ func main() {
 	if *budget <= 0 {
 		*budget = 1 << 50
 	}
-	store, err := toc.NewStore("", *method, *budget)
+	bwModel, err := toc.ParseBandwidthModel(*diskModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := toc.NewEvictionPolicy(*evict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []toc.StoreOption{
+		toc.WithShards(*spillShard),
+		toc.WithBandwidthModel(bwModel),
+		toc.WithReadBandwidth(*bandwidth),
+		toc.WithAccessLatency(*seek),
+		toc.WithEviction(policy),
+	}
+	if *spillDirs != "" {
+		opts = append(opts, toc.WithShardDirs(strings.Split(*spillDirs, ",")...))
+	}
+	store, err := toc.NewStore("", *method, *budget, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer store.Close()
-	store.SetReadBandwidth(*bandwidth)
 
 	var eng *toc.Engine
 	if *workers != 1 {
@@ -88,6 +122,10 @@ func main() {
 		*dataset, d.X.Rows(), d.X.Cols(), *method,
 		store.NumBatches(), st.ResidentBatches, st.ResidentBytes/1024,
 		st.SpilledBatches, st.SpilledBytes/1024)
+	if store.Spilled() {
+		fmt.Printf("spill: %d shards, %s disk model, %s eviction (%d evicted), seek %v\n",
+			store.Shards(), bwModel, store.EvictionPolicyName(), st.Evictions, *seek)
+	}
 
 	model, err := toc.NewModel(*modelName, d.X.Cols(), d.Classes, *hidden, *seed+7)
 	if err != nil {
@@ -104,10 +142,10 @@ func main() {
 		if !ok {
 			log.Fatalf("model %q cannot train in parallel", *modelName)
 		}
-		pf = toc.NewPrefetcher(store, *prefetch, *workers)
+		pf = eng.NewPrefetcher(store, *prefetch, *prefBytes)
 		defer pf.Close()
-		fmt.Printf("engine: %d workers, group %d, kernel workers %d, prefetch depth %d\n",
-			eng.Workers(), eng.GroupSize(), eng.KernelWorkers(store.NumBatches()), *prefetch)
+		fmt.Printf("engine: %d workers, group %d, kernel workers %d, prefetch depth %d (byte budget %d)\n",
+			eng.Workers(), eng.GroupSize(), eng.KernelWorkers(store.NumBatches()), *prefetch, *prefBytes)
 		res = eng.Train(gm, pf, *epochs, *lr, cb)
 	} else {
 		res = toc.Train(model, store, *epochs, *lr, cb)

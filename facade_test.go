@@ -82,4 +82,40 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if e := EvaluateError(model, src); e < 0 || e > 1 {
 		t.Fatalf("kernel-parallel evaluation error rate %v", e)
 	}
+	// The sharded-spill surface: store options, disk models, eviction
+	// policies and the byte-bounded prefetch window, all via the facade.
+	if m, err := ParseBandwidthModel("shared-bucket"); err != nil || m != SharedBucket {
+		t.Fatalf("ParseBandwidthModel: %v, %v", m, err)
+	}
+	if p, err := NewEvictionPolicy("access-order"); err != nil || p.Name() != "access-order" {
+		t.Fatalf("NewEvictionPolicy: %v", err)
+	}
+	sharded, err := NewStore(t.TempDir(), "TOC", 1,
+		WithShards(2), WithBandwidthModel(SharedBucket),
+		WithReadBandwidth(0), WithEviction(LargestFirstPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	if sharded.Shards() != 2 {
+		t.Fatalf("Shards() = %d", sharded.Shards())
+	}
+	for i := 0; i < 4; i++ {
+		bx, by := d.Batch(i, 50)
+		if err := sharded.Add(bx, by); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sharded.EvictionPolicyName() != "largest-first" {
+		t.Fatalf("EvictionPolicyName() = %s", sharded.EvictionPolicyName())
+	}
+	pf := NewPrefetcher(sharded, 3, 2, WithPrefetchBytes(1<<20))
+	defer pf.Close()
+	for i := 0; i < 4; i++ {
+		bx, _ := d.Batch(i, 50)
+		c, _ := pf.Batch(i)
+		if !c.Decode().Equal(bx) {
+			t.Fatalf("sharded store batch %d round trip mismatch", i)
+		}
+	}
 }

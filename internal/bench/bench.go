@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"sync"
 
 	"toc/internal/data"
+	"toc/internal/storage"
 )
 
 // Config controls experiment sizing.
@@ -29,9 +31,54 @@ type Config struct {
 	Seed int64
 	// Dir is where spill files are created ("" = OS temp).
 	Dir string
-	// Workers adds an extra worker count to the scaling experiment's
-	// sweep (0 keeps the default 1/2/4/8 sweep).
+	// Workers adds an extra worker count to the scaling experiments'
+	// sweeps (0 keeps each experiment's default sweep).
 	Workers int
+	// SpillShards adds an extra shard count to the spillscale sweep
+	// (0 keeps the default 1/2/4 sweep).
+	SpillShards int
+	// SpillDirs, when non-empty, places spill shards across these
+	// directories (modeling distinct devices) in the spill experiments.
+	SpillDirs []string
+	// DiskModel overrides the bandwidth model of the spill experiments
+	// ("per-request" or "shared-bucket"; "" keeps each experiment's
+	// default).
+	DiskModel string
+	// Evict overrides the spill experiments' residency policy
+	// ("first-fit", "largest-first", "access-order"; "" = first-fit).
+	Evict string
+}
+
+// spillOptions translates the Config's spill knobs into store options for
+// the experiments that exercise the out-of-core path. shards <= 0 defers
+// to the Config's SpillShards (so -spill-shards reaches every spill
+// experiment), then to the store's own default layout; defaultModel
+// applies when the Config does not override it.
+func (c Config) spillOptions(shards int, defaultModel storage.BandwidthModel) ([]storage.Option, error) {
+	model := defaultModel
+	if c.DiskModel != "" {
+		m, err := storage.ParseBandwidthModel(c.DiskModel)
+		if err != nil {
+			return nil, err
+		}
+		model = m
+	}
+	policy, err := storage.NewEvictionPolicy(c.Evict)
+	if err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		shards = c.SpillShards
+	}
+	opts := []storage.Option{
+		storage.WithBandwidthModel(model),
+		storage.WithEviction(policy),
+		storage.WithShards(shards),
+	}
+	if len(c.SpillDirs) > 0 {
+		opts = append(opts, storage.WithShardDirs(c.SpillDirs...))
+	}
+	return opts, nil
 }
 
 // DefaultConfig returns the sizing used by cmd/tocbench and bench_test.go.
@@ -92,6 +139,24 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// RenderCSV appends the table to w as CSV: a header row of "experiment"
+// plus the column names, then one record per row prefixed with the
+// experiment id. Concatenating several tables into one file keeps each
+// self-describing, which is what the CI artifact comparison wants.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"experiment"}, t.Columns...)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Runner executes one experiment.

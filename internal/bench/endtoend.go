@@ -41,9 +41,14 @@ type storeSource struct {
 
 func (s storeSource) close() { _ = s.Close() }
 
-// newStoreSource loads a dataset into a budgeted store.
+// newStoreSource loads a dataset into a budgeted store, honoring the
+// Config's spill knobs (disk model, eviction policy, shard directories).
 func newStoreSource(cfg Config, d *data.Dataset, batchSize int, method string, budget int64) (storeSource, error) {
-	st, err := storage.NewStore(cfg.Dir, method, budget)
+	opts, err := cfg.spillOptions(0, storage.PerRequest)
+	if err != nil {
+		return storeSource{}, err
+	}
+	st, err := storage.NewStore(cfg.Dir, method, budget, opts...)
 	if err != nil {
 		return storeSource{}, err
 	}

@@ -58,16 +58,7 @@ func runScaling(cfg Config) (*Table, error) {
 			"  every row, serial included, reports the same loss bitwise",
 		},
 	}
-	counts := []int{1, 2, 4, 8}
-	if cfg.Workers > 0 {
-		seen := false
-		for _, w := range counts {
-			seen = seen || w == cfg.Workers
-		}
-		if !seen {
-			counts = append(counts, cfg.Workers)
-		}
-	}
+	counts := addCount([]int{1, 2, 4, 8}, cfg.Workers)
 	if err := scalingInRAM(cfg, t, counts); err != nil {
 		return nil, err
 	}
@@ -198,8 +189,14 @@ func scalingSpill(cfg Config, t *Table, counts []int) error {
 		return err
 	}
 	// Serial baseline: Store.Add ingest, ml.Train reading every spilled
-	// batch synchronously on the critical path.
-	st, err := storage.NewStore(cfg.Dir, "TOC", 1) // 1-byte budget: all spilled
+	// batch synchronously on the critical path. The historical regime is
+	// per-request bandwidth on one shard; -disk-model/-evict/-spill-dirs
+	// override it through the Config.
+	spillOpts, err := cfg.spillOptions(0, storage.PerRequest)
+	if err != nil {
+		return err
+	}
+	st, err := storage.NewStore(cfg.Dir, "TOC", 1, spillOpts...) // 1-byte budget: all spilled
 	if err != nil {
 		return err
 	}
@@ -227,7 +224,7 @@ func scalingSpill(cfg Config, t *Table, counts []int) error {
 	})
 	for _, w := range counts {
 		eng := engine.New(engine.Config{Workers: w, GroupSize: 8, Seed: cfg.Seed})
-		est, err := storage.NewStore(cfg.Dir, "TOC", 1)
+		est, err := storage.NewStore(cfg.Dir, "TOC", 1, spillOpts...)
 		if err != nil {
 			return err
 		}

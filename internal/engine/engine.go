@@ -100,6 +100,15 @@ func (e *Engine) KernelWorkers(n int) int {
 	return per
 }
 
+// epochPerm is the single definition of the engine's per-epoch visit
+// permutation. Train (current and next epoch announcements) and
+// FillStore (the eviction policy's upcoming order) must all derive it
+// here, or an order-aware eviction policy would pin batches Train never
+// visits first.
+func epochPerm(seed int64, epoch, n int) []int {
+	return rand.New(rand.NewSource(seed + int64(epoch))).Perm(n)
+}
+
 // OrderedSource is a BatchSource that accepts visit-order hints;
 // storage.Prefetcher implements it. Train announces each epoch's
 // permutation through it so prefetching stays ahead of the loop.
@@ -115,6 +124,30 @@ type OrderedSource interface {
 // a fresh permutation. storage.Prefetcher implements it.
 type NextOrderedSource interface {
 	SetNextOrder(order []int)
+}
+
+// NewPrefetcher wraps a fully-loaded store with a spill prefetcher sized
+// for this engine and the store's shard layout: the reader pool covers
+// every spill shard (at least one reader per shard, and no fewer readers
+// than the engine has workers) so sharded stores serve truly concurrent
+// reads, and depth <= 0 defaults to two groups' worth of batches — deep
+// enough to cover the next merge step while the current one computes.
+// maxBytes > 0 additionally bounds the window by compressed bytes
+// (storage.WithPrefetchBytes), so deep prefetch on large batches cannot
+// outgrow the memory budget the store is protecting.
+func (e *Engine) NewPrefetcher(st *storage.Store, depth int, maxBytes int64) *storage.Prefetcher {
+	if depth <= 0 {
+		depth = 2 * e.group
+	}
+	readers := e.workers
+	if sh := st.Shards(); readers < sh {
+		readers = sh
+	}
+	var opts []storage.PrefetchOption
+	if maxBytes > 0 {
+		opts = append(opts, storage.WithPrefetchBytes(maxBytes))
+	}
+	return storage.NewPrefetcher(st, depth, readers, opts...)
 }
 
 // Train runs data-parallel MGD for the given epochs: per step it fans the
@@ -172,7 +205,7 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 	}
 	for epoch := 0; epoch < epochs; epoch++ {
 		if e.shuffle {
-			copy(order, rand.New(rand.NewSource(e.seed+int64(epoch))).Perm(n))
+			copy(order, epochPerm(e.seed, epoch, n))
 		}
 		if os, ok := src.(OrderedSource); ok {
 			os.SetOrder(order)
@@ -181,7 +214,7 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 			// the next epoch starts on a fresh permutation; announce that
 			// permutation so boundary reads stay hits.
 			if ns, ok := src.(NextOrderedSource); ok && e.shuffle && epoch+1 < epochs {
-				ns.SetNextOrder(rand.New(rand.NewSource(e.seed + int64(epoch+1))).Perm(n))
+				ns.SetNextOrder(epochPerm(e.seed, epoch+1, n))
 			}
 		}
 		epochStart := time.Now()
@@ -264,6 +297,20 @@ func (e *Engine) EncodeAll(enc formats.Encoder, batches []*matrix.Dense) []forma
 // until the in-order Add pass.
 func (e *Engine) FillStore(st *storage.Store, d *data.Dataset, batchSize int) error {
 	n := d.NumBatches(batchSize)
+	// Aim the store's eviction policy at the first epoch before anything
+	// is admitted: with Shuffle on, epoch 0 visits the seeded permutation
+	// Train will announce to the prefetcher, and an order-aware policy
+	// (storage.AccessOrder) keeps exactly its head resident. Without
+	// Shuffle epochs scan in ingest order, which is the announcement too.
+	if e.shuffle {
+		st.SetUpcomingOrder(epochPerm(e.seed, 0, n))
+	} else {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		st.SetUpcomingOrder(order)
+	}
 	encoded := make([]formats.CompressedMatrix, n)
 	labels := make([][]float64, n)
 	workers := e.workers

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"testing"
 
 	"toc/internal/data"
@@ -262,6 +263,89 @@ func TestEngineShuffleBoundaryPrefetch(t *testing.T) {
 	// roughly depth misses per epoch on top of that.
 	if ps := pf.Stats(); ps.Misses > 6 {
 		t.Errorf("shuffled training missed %d times (boundary prefetch broken): %+v", ps.Misses, ps)
+	}
+}
+
+// FillStore announces the first epoch's visit order to the store before
+// ingest, so an access-order (Belady-style) eviction policy keeps exactly
+// the head of the epoch-0 permutation resident — the batches the
+// prefetcher has no lead time to fetch.
+func TestFillStoreAnnouncesShuffleOrderToEviction(t *testing.T) {
+	const seed, batchSize, keep = 41, 25, 3
+	d, err := data.Generate("census", 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumBatches(batchSize)
+	// DEN batches of equal shape have equal compressed size, so the
+	// budget holds exactly `keep` batches and evictions are exact swaps.
+	x, _ := d.Batch(0, batchSize)
+	size := int64(formats.MustGet("DEN")(x).CompressedSize())
+	st, err := storage.NewStore(t.TempDir(), "DEN", keep*size,
+		storage.WithEviction(storage.AccessOrder()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := New(Config{Workers: 4, Seed: seed, Shuffle: true})
+	if err := eng.FillStore(st, d, batchSize); err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	want := map[int]bool{}
+	for _, i := range perm[:keep] {
+		want[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if st.Resident(i) != want[i] {
+			t.Errorf("batch %d resident=%v, want %v (epoch-0 head %v)",
+				i, st.Resident(i), want[i], perm[:keep])
+		}
+	}
+}
+
+// Engine-built prefetchers cover every spill shard and honor the byte
+// budget; training through one over a 4-shard store must walk the same
+// trajectory as the single-file layout.
+func TestEngineNewPrefetcherOverShardedStore(t *testing.T) {
+	d, err := data.Generate("census", 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(8)
+	eng := New(Config{Workers: 4, GroupSize: 4, Seed: 3})
+
+	train := func(st *storage.Store) []float64 {
+		t.Helper()
+		if err := eng.FillStore(st, d, 25); err != nil {
+			t.Fatal(err)
+		}
+		avgSpan := st.Stats().SpilledBytes / int64(st.NumBatches())
+		pf := eng.NewPrefetcher(st, 0, 4*avgSpan) // ~4 average batches in flight
+		defer pf.Close()
+		m := newModel(t, "lr", d, 29)
+		res := eng.Train(m, pf, 3, 0.2, nil)
+		if ps := pf.Stats(); ps.Hits == 0 {
+			t.Errorf("engine prefetcher never hit: %+v", ps)
+		}
+		return res.EpochLoss
+	}
+
+	one, err := storage.NewStore(t.TempDir(), "TOC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	four, err := storage.NewStore(t.TempDir(), "TOC", 1, storage.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer four.Close()
+	lossOne, lossFour := train(one), train(four)
+	for e := range lossOne {
+		if lossOne[e] != lossFour[e] {
+			t.Errorf("epoch %d: 4-shard loss %g != 1-shard %g", e, lossFour[e], lossOne[e])
+		}
 	}
 }
 

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BandwidthModel selects how the simulated disk enforces the configured
+// read bandwidth. The two models bracket real storage hardware: cloud
+// block stores and SSDs deliver more aggregate throughput the deeper the
+// request queue, while a spindle (or any device behind a fixed bus) has
+// one aggregate budget that concurrent readers share.
+type BandwidthModel int
+
+const (
+	// PerRequest throttles every spilled read independently: each request
+	// sleeps length/bandwidth regardless of what else is in flight, so N
+	// concurrent readers see N× the configured bandwidth in aggregate.
+	// This models devices whose throughput scales with queue depth (cloud
+	// block stores, SSDs) and is the historical default.
+	PerRequest BandwidthModel = iota
+
+	// SharedBucket meters all spilled reads of one device (all shards
+	// sharing a directory) through a single token bucket, so aggregate
+	// read throughput never exceeds the configured bandwidth no matter
+	// how many readers pile on — the spindle/bus regime. Each shard
+	// additionally services one request at a time (its file handle is the
+	// arm): the per-request access latency and the transfer serialize
+	// within a shard but overlap across shards, which is exactly what
+	// spreading spill files over more devices buys.
+	SharedBucket
+)
+
+// String returns the flag-friendly name of the model.
+func (m BandwidthModel) String() string {
+	switch m {
+	case PerRequest:
+		return "per-request"
+	case SharedBucket:
+		return "shared-bucket"
+	default:
+		return fmt.Sprintf("BandwidthModel(%d)", int(m))
+	}
+}
+
+// ParseBandwidthModel resolves a flag value ("per-request"/"request",
+// "shared-bucket"/"shared"/"bucket") to a BandwidthModel.
+func ParseBandwidthModel(name string) (BandwidthModel, error) {
+	switch name {
+	case "per-request", "request", "":
+		return PerRequest, nil
+	case "shared-bucket", "shared", "bucket":
+		return SharedBucket, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown bandwidth model %q (want per-request or shared-bucket)", name)
+	}
+}
+
+// tokenBucket paces transfers so they aggregate to a bandwidth cap. It
+// tracks the virtual completion time of the last admitted transfer; a
+// reservation extends it and the caller sleeps until its own transfer's
+// virtual completion. Idle periods grant no credit (next never falls
+// behind the wall clock), so the cap holds at any queue depth: N
+// back-to-back reservations finish, in real time, no sooner than their
+// total size divided by the rate.
+type tokenBucket struct {
+	mu   sync.Mutex
+	next time.Time
+}
+
+// reserve admits a transfer of n bytes at rate bps and returns how long
+// the caller must sleep for the transfer to be paced correctly.
+func (b *tokenBucket) reserve(n, bps int64) time.Duration {
+	if n <= 0 || bps <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if b.next.Before(now) {
+		b.next = now
+	}
+	b.next = b.next.Add(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+	return b.next.Sub(now)
+}
+
+// device is one simulated storage device: every shard placed in the same
+// directory shares the device's token bucket, so SharedBucket bandwidth
+// is an aggregate cap per directory. Spreading shards over distinct
+// directories (WithShardDirs) models distinct devices, each with its own
+// full bandwidth budget.
+type device struct {
+	dir    string
+	bucket tokenBucket
+}

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"testing"
+
+	"toc/internal/formats"
+	"toc/internal/matrix"
+)
+
+// denBatch builds a rows×4 dense batch; with the DEN codec its compressed
+// size is a deterministic function of the shape alone, which makes
+// eviction traces exact.
+func denBatch(rows int) (*matrix.Dense, []float64) {
+	x := matrix.NewDense(rows, 4)
+	for i := 0; i < rows; i++ {
+		x.Set(i, i%4, float64(i+1))
+	}
+	return x, make([]float64, rows)
+}
+
+func denSize(rows int) int64 {
+	x, _ := denBatch(rows)
+	return int64(formats.MustGet("DEN")(x).CompressedSize())
+}
+
+// residency reports which batches are resident, as a bitmap string.
+func residency(s *Store) string {
+	out := make([]byte, s.NumBatches())
+	for i := range out {
+		if s.Resident(i) {
+			out[i] = 'R'
+		} else {
+			out[i] = 'S'
+		}
+	}
+	return string(out)
+}
+
+// First-fit never displaces: the big first arrival keeps its slot and the
+// smalls spill, exactly the historical layout.
+func TestEvictionFirstFitTrace(t *testing.T) {
+	big := denSize(20)
+	s, err := NewStore(t.TempDir(), "DEN", big+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, rows := range []int{20, 6, 6} {
+		x, y := denBatch(rows)
+		if err := s.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := residency(s); got != "RSS" {
+		t.Fatalf("first-fit residency = %s, want RSS", got)
+	}
+	st := s.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("first-fit evicted %d batches", st.Evictions)
+	}
+	if st.ResidentBytes != big || st.SpilledBatches != 2 {
+		t.Fatalf("layout: %+v", st)
+	}
+}
+
+// Largest-first displaces the big batch to keep both smalls resident:
+// same spilled bytes, half the spilled reads per epoch.
+func TestEvictionLargestFirstTrace(t *testing.T) {
+	big, small := denSize(20), denSize(6)
+	s, err := NewStore(t.TempDir(), "DEN", big+1, WithEviction(LargestFirst()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, rows := range []int{20, 6, 6} {
+		x, y := denBatch(rows)
+		if err := s.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := residency(s); got != "SRR" {
+		t.Fatalf("largest-first residency = %s, want SRR", got)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.ResidentBytes != 2*small || st.SpilledBatches != 1 {
+		t.Fatalf("layout: %+v", st)
+	}
+	// Every batch — kept, displaced or spilled on arrival — round-trips.
+	for i, rows := range []int{20, 6, 6} {
+		c, _ := s.Batch(i)
+		want, _ := denBatch(rows)
+		if !c.Decode().Equal(want) {
+			t.Fatalf("batch %d mismatch after eviction", i)
+		}
+	}
+}
+
+// Largest-first must not evict when the evictions would not free enough
+// room: a batch larger than the whole budget spills without collateral.
+func TestEvictionLargestFirstNoFutileEvictions(t *testing.T) {
+	small := denSize(6)
+	s, err := NewStore(t.TempDir(), "DEN", 2*small, WithEviction(LargestFirst()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, rows := range []int{6, 6, 40} {
+		x, y := denBatch(rows)
+		if err := s.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := residency(s); got != "RRS" {
+		t.Fatalf("residency = %s, want RRS (no futile evictions)", got)
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("Evictions = %d, want 0", st.Evictions)
+	}
+}
+
+// Access-order keeps the batch visited first in the announced epoch
+// permutation, displacing earlier arrivals that the epoch visits later —
+// the Belady choice for a once-per-epoch scan.
+func TestEvictionAccessOrderTrace(t *testing.T) {
+	size := denSize(10)
+	s, err := NewStore(t.TempDir(), "DEN", size, WithEviction(AccessOrder()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetUpcomingOrder([]int{2, 0, 1})
+	for i := 0; i < 3; i++ {
+		x, y := denBatch(10)
+		if err := s.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch 2 leads the epoch: it must hold the single resident slot.
+	if got := residency(s); got != "SSR" {
+		t.Fatalf("access-order residency = %s, want SSR", got)
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// Without an announced order, access-order degrades to arrival order —
+// identical to first-fit for sequential epochs.
+func TestEvictionAccessOrderFallsBackToArrival(t *testing.T) {
+	size := denSize(10)
+	s, err := NewStore(t.TempDir(), "DEN", size, WithEviction(AccessOrder()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		x, y := denBatch(10)
+		if err := s.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := residency(s); got != "RSS" {
+		t.Fatalf("residency = %s, want RSS (arrival-order fallback)", got)
+	}
+}
+
+func TestNewEvictionPolicyParse(t *testing.T) {
+	for name, want := range map[string]string{
+		"":              "first-fit",
+		"first-fit":     "first-fit",
+		"largest-first": "largest-first",
+		"largest":       "largest-first",
+		"access-order":  "access-order",
+		"belady":        "access-order",
+	} {
+		p, err := NewEvictionPolicy(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%q resolved to %s, want %s", name, p.Name(), want)
+		}
+	}
+	if _, err := NewEvictionPolicy("lru"); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}

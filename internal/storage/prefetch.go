@@ -30,11 +30,28 @@ type fetchJob struct {
 }
 
 // entry is a prefetched (or in-flight) batch; c and y are valid after done
-// is closed.
+// is closed. size is the batch's on-disk length, charged against the
+// optional byte budget while the entry lives in the cache.
 type entry struct {
 	done chan struct{}
+	size int64
 	c    formats.CompressedMatrix
 	y    []float64
+}
+
+// PrefetchOption configures a Prefetcher at construction.
+type PrefetchOption func(*Prefetcher)
+
+// WithPrefetchBytes bounds the compressed bytes the prefetcher holds
+// prefetched or in flight at once. The positional window depth is a raw
+// batch count; on large compressed batches a deep window could otherwise
+// hold many times the memory budget the store is protecting. With a byte
+// budget the window extends only while the next spilled batch still fits
+// — but never shrinks below one entry, so a batch larger than the whole
+// budget is still prefetched (alone) rather than starved. Zero (the
+// default) disables the bound.
+func WithPrefetchBytes(maxBytes int64) PrefetchOption {
+	return func(p *Prefetcher) { p.maxBytes = maxBytes }
 }
 
 // Prefetcher wraps a Store and reads spilled batches ahead of the training
@@ -48,27 +65,36 @@ type entry struct {
 // ml.BatchSource contract and is safe for concurrent Batch calls,
 // including duplicate indices: callers racing for the same in-flight
 // batch share one read.
+//
+// Reads are issued per shard: each of the store's spill shards has its
+// own job queue and reader goroutines, so the prefetcher keeps every
+// shard busy concurrently instead of funneling all reads through one
+// pool that a single slow shard can clog.
 type Prefetcher struct {
-	store *Store
-	depth int
-	jobs  chan fetchJob
-	wg    sync.WaitGroup
+	store    *Store
+	depth    int
+	maxBytes int64           // 0 = unbounded; see WithPrefetchBytes
+	jobs     []chan fetchJob // one queue per spill shard
+	wg       sync.WaitGroup
 
-	mu      sync.Mutex
-	order   []int // predicted visit sequence (a permutation of 0..n-1)
-	next    []int // the following epoch's sequence; nil = wrap into order
-	posOf   []int // batch index -> position in order
-	lastPos int   // deepest consumed position in order (-1 before any)
-	cache   map[int]*entry
-	stats   PrefetchStats
-	closed  bool
+	mu         sync.Mutex
+	order      []int // predicted visit sequence (a permutation of 0..n-1)
+	next       []int // the following epoch's sequence; nil = wrap into order
+	posOf      []int // batch index -> position in order
+	lastPos    int   // deepest consumed position in order (-1 before any)
+	cache      map[int]*entry
+	cacheBytes int64 // sum of cached/in-flight entry sizes
+	stats      PrefetchStats
+	closed     bool
 }
 
 // NewPrefetcher wraps a fully-loaded store (no further Add calls) with a
-// prefetch window of depth batches served by readers background
-// goroutines (readers <= 0 picks a small default). It immediately begins
-// prefetching the head of the sequential order.
-func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
+// prefetch window of depth batches served by background reader
+// goroutines. readers is the total reader target (readers <= 0 picks a
+// small default); the pool is split across the store's spill shards with
+// at least one reader per shard, so concurrent reads reach every shard.
+// It immediately begins prefetching the head of the sequential order.
+func NewPrefetcher(s *Store, depth, readers int, opts ...PrefetchOption) *Prefetcher {
 	n := s.NumBatches()
 	if depth > n-1 {
 		depth = n - 1
@@ -82,22 +108,33 @@ func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
 			readers = 2
 		}
 	}
+	shards := s.Shards()
+	perShard := (readers + shards - 1) / shards // ceil: never fewer total readers than requested
+	if perShard < 1 {
+		perShard = 1
+	}
 	p := &Prefetcher{
 		store:   s,
 		depth:   depth,
-		jobs:    make(chan fetchJob, depth+readers),
+		jobs:    make([]chan fetchJob, shards),
 		order:   make([]int, n),
 		posOf:   make([]int, n),
 		lastPos: -1,
 		cache:   make(map[int]*entry, depth+1),
 	}
+	for _, o := range opts {
+		o(p)
+	}
 	for i := range p.order {
 		p.order[i] = i
 		p.posOf[i] = i
 	}
-	for r := 0; r < readers; r++ {
-		p.wg.Add(1)
-		go p.reader()
+	for sh := range p.jobs {
+		p.jobs[sh] = make(chan fetchJob, depth+perShard)
+		for r := 0; r < perShard; r++ {
+			p.wg.Add(1)
+			go p.reader(p.jobs[sh])
+		}
 	}
 	p.mu.Lock()
 	p.scheduleLocked(-1)
@@ -105,9 +142,9 @@ func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
 	return p
 }
 
-func (p *Prefetcher) reader() {
+func (p *Prefetcher) reader(jobs <-chan fetchJob) {
 	defer p.wg.Done()
-	for j := range p.jobs {
+	for j := range jobs {
 		j.en.c, j.en.y = p.store.Batch(j.idx)
 		close(j.en.done)
 	}
@@ -141,10 +178,18 @@ func (p *Prefetcher) SetNextOrder(order []int) {
 	p.scheduleLocked(p.lastPos)
 }
 
+// dropLocked removes a cache entry and refunds its byte charge. Must be
+// called with p.mu held.
+func (p *Prefetcher) dropLocked(idx int, en *entry) {
+	delete(p.cache, idx)
+	p.cacheBytes -= en.size
+}
+
 // scheduleLocked queues background reads for the spilled batches within
 // depth positions after pos in the predicted order, continuing into the
 // announced next epoch at the boundary (or wrapping to the current head
-// when none is announced). Must be called with p.mu held.
+// when none is announced). The window additionally stops at the byte
+// budget when one is configured. Must be called with p.mu held.
 func (p *Prefetcher) scheduleLocked(pos int) {
 	n := len(p.order)
 	if n == 0 || p.closed {
@@ -168,10 +213,19 @@ func (p *Prefetcher) scheduleLocked(pos int) {
 		if _, inFlight := p.cache[idx]; inFlight {
 			continue
 		}
-		en := &entry{done: make(chan struct{})}
+		size := p.store.spans[idx].length
+		// The byte budget stops the window from extending, but never
+		// below one entry: a batch bigger than the whole budget must
+		// still be fetchable once the cache drains, or it (and everything
+		// behind it) would be a permanent synchronous miss.
+		if p.maxBytes > 0 && len(p.cache) > 0 && p.cacheBytes+size > p.maxBytes {
+			return // byte budget reached; a later access re-schedules
+		}
+		en := &entry{done: make(chan struct{}), size: size}
 		select {
-		case p.jobs <- fetchJob{idx: idx, en: en}:
+		case p.jobs[p.store.ShardOf(idx)] <- fetchJob{idx: idx, en: en}:
 			p.cache[idx] = en
+			p.cacheBytes += size
 			p.stats.Prefetched++
 		default:
 			return // queue full; a later access re-schedules
@@ -198,7 +252,7 @@ func (p *Prefetcher) Batch(i int) (formats.CompressedMatrix, []float64) {
 		p.stats.Hits++
 		select {
 		case <-en.done:
-			delete(p.cache, i) // consumed; re-prefetched on the next lap
+			p.dropLocked(i, en) // consumed; re-prefetched on the next lap
 		default:
 			inFlight = true
 		}
@@ -227,9 +281,13 @@ func (p *Prefetcher) Batch(i int) (formats.CompressedMatrix, []float64) {
 		}
 		// First consumer to get here retires the entry; sharers that
 		// arrive later find a newer entry (or none) and leave it alone.
+		// Retiring frees byte budget, so the window may extend again —
+		// without this, a tight budget alternates hit/miss because the
+		// next batch can only be scheduled once the current one is gone.
 		p.mu.Lock()
 		if p.cache[i] == en {
-			delete(p.cache, i)
+			p.dropLocked(i, en)
+			p.scheduleLocked(p.posOf[i])
 		}
 		p.mu.Unlock()
 	}
@@ -256,7 +314,9 @@ func (p *Prefetcher) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	close(p.jobs)
+	for _, ch := range p.jobs {
+		close(ch)
+	}
 	p.wg.Wait()
 	return nil
 }

@@ -231,6 +231,111 @@ func TestPrefetcherWindowCrossesBoundaryIntoNextOrder(t *testing.T) {
 	}
 }
 
+// A sequential scan over a sharded store behind the per-shard readers
+// stays all-hits: every shard's queue is serviced concurrently.
+func TestPrefetcherShardedSequentialScanAllHits(t *testing.T) {
+	const n = 12
+	st, err := NewStore(t.TempDir(), "TOC", 1, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for b := 0; b < n; b++ {
+		x := matrix.NewDense(4, 6)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 6; j++ {
+				x.Set(i, j, float64((b+i*j)%5))
+			}
+		}
+		if err := st.Add(x, []float64{0, 1, 0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf := NewPrefetcher(st, 4, 2) // 2 readers requested -> one per shard
+	defer pf.Close()
+	for epoch := 0; epoch < 2; epoch++ {
+		for i := 0; i < n; i++ {
+			c, y := pf.Batch(i)
+			if c.Rows() != 4 || len(y) != 4 {
+				t.Fatalf("batch %d: rows=%d labels=%d", i, c.Rows(), len(y))
+			}
+		}
+	}
+	if ps := pf.Stats(); ps.Misses != 0 || ps.Hits != 2*n {
+		t.Errorf("sharded scan: %+v, want 0 misses / %d hits", ps, 2*n)
+	}
+}
+
+// WithPrefetchBytes bounds the window by compressed bytes instead of raw
+// batch count: the cache (prefetched + in flight) never charges past the
+// budget, and the window re-extends as entries are consumed.
+func TestPrefetcherByteBudgetBoundsWindow(t *testing.T) {
+	const n, depth = 12, 8
+	st := spilledStore(t, n)
+	// Budget: exactly the first two spans of the sequential order. The
+	// primed window must stop there even though depth allows 8.
+	budget := st.spans[0].length + st.spans[1].length
+	pf := NewPrefetcher(st, depth, 2, WithPrefetchBytes(budget))
+	defer pf.Close()
+	pf.mu.Lock()
+	if len(pf.cache) != 2 {
+		t.Errorf("primed cache holds %d entries, want 2 (byte budget)", len(pf.cache))
+	}
+	if pf.cacheBytes > budget {
+		t.Errorf("cacheBytes %d exceeds budget %d", pf.cacheBytes, budget)
+	}
+	pf.mu.Unlock()
+	for epoch := 0; epoch < 2; epoch++ {
+		for i := 0; i < n; i++ {
+			c, y := pf.Batch(i)
+			if c.Rows() != 4 || len(y) != 4 {
+				t.Fatalf("batch %d: rows=%d labels=%d", i, c.Rows(), len(y))
+			}
+			pf.mu.Lock()
+			if pf.cacheBytes > budget {
+				t.Fatalf("after batch %d: cacheBytes %d exceeds budget %d", i, pf.cacheBytes, budget)
+			}
+			var sum int64
+			for _, en := range pf.cache {
+				sum += en.size
+			}
+			if sum != pf.cacheBytes {
+				t.Fatalf("cacheBytes %d out of sync with entries %d", pf.cacheBytes, sum)
+			}
+			pf.mu.Unlock()
+		}
+	}
+	// Consuming the head frees budget for the tail: the scan stays ahead,
+	// so a byte-bounded window still converts most reads into hits.
+	if ps := pf.Stats(); ps.Hits < int64(n) {
+		t.Errorf("byte-bounded scan hit only %d of %d reads: %+v", ps.Hits, 2*n, ps)
+	}
+}
+
+// A byte budget smaller than any single batch must not starve the
+// prefetcher: the window never shrinks below one entry, so every batch is
+// still prefetched — one at a time — instead of becoming a permanent
+// synchronous miss that also blocks everything behind it.
+func TestPrefetcherByteBudgetSmallerThanOneBatch(t *testing.T) {
+	const n = 8
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 4, 2, WithPrefetchBytes(st.spans[0].length-1))
+	defer pf.Close()
+	for i := 0; i < n; i++ {
+		if c, _ := pf.Batch(i); c.Rows() != 4 {
+			t.Fatalf("batch %d rows = %d", i, c.Rows())
+		}
+		pf.mu.Lock()
+		if len(pf.cache) > 1 {
+			t.Fatalf("after batch %d: %d entries cached, want <= 1", i, len(pf.cache))
+		}
+		pf.mu.Unlock()
+	}
+	if ps := pf.Stats(); ps.Misses != 0 {
+		t.Errorf("one-at-a-time window still missed %d times: %+v", ps.Misses, ps)
+	}
+}
+
 // Resident batches bypass the prefetcher counters entirely.
 func TestPrefetcherResidentBypass(t *testing.T) {
 	st, err := NewStore(t.TempDir(), "TOC", 1<<30) // everything resident

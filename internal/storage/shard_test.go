@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"toc/internal/data"
+	"toc/internal/formats"
+	"toc/internal/matrix"
+	"toc/internal/ml"
+)
+
+// A 4-shard store must spread its spill across four files, keep the
+// placement byte-balanced, and round-trip every batch.
+func TestShardedSpillRoundTripAndBalance(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, "TOC", 1, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	xs, ys := testBatches(t, 16, 20, 10)
+	for i := range xs {
+		if err := s.Add(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 4 {
+		t.Fatalf("expected 4 spill files, found %d", len(entries))
+	}
+	var maxBatch, minShard, maxShard int64
+	for i := range xs {
+		if l := s.spans[i].length; l > maxBatch {
+			maxBatch = l
+		}
+	}
+	for i, b := range s.ShardBytes() {
+		if b == 0 {
+			t.Fatalf("shard %d received no bytes", i)
+		}
+		if minShard == 0 || b < minShard {
+			minShard = b
+		}
+		if b > maxShard {
+			maxShard = b
+		}
+	}
+	// Least-loaded placement keeps shards within one batch of each other.
+	if maxShard-minShard > maxBatch {
+		t.Fatalf("shard imbalance %d exceeds max batch size %d: %v",
+			maxShard-minShard, maxBatch, s.ShardBytes())
+	}
+	for i := range xs {
+		if got := s.ShardOf(i); got < 0 || got >= 4 {
+			t.Fatalf("ShardOf(%d) = %d", i, got)
+		}
+		c, y := s.Batch(i)
+		if !c.Decode().Equal(xs[i]) {
+			t.Fatalf("batch %d content mismatch across shards", i)
+		}
+		for k := range y {
+			if y[k] != ys[i][k] {
+				t.Fatalf("batch %d labels mismatch", i)
+			}
+		}
+	}
+}
+
+// WithShardDirs places one spill file per directory — the N-device layout.
+func TestShardDirsPlaceFilesPerDirectory(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	s, err := NewStore("", "TOC", 1, WithShardDirs(dirA, dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want len(dirs)", s.Shards())
+	}
+	xs, ys := testBatches(t, 6, 10, 8)
+	for i := range xs {
+		if err := s.Add(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dir := range []string{dirA, dirB} {
+		entries, _ := os.ReadDir(dir)
+		if len(entries) != 1 {
+			t.Fatalf("dir %s holds %d spill files, want 1", dir, len(entries))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{dirA, dirB} {
+		if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+			t.Fatalf("Close left spill files in %s", dir)
+		}
+	}
+}
+
+// Training through a 4-shard spilled store must produce the same model as
+// training fully in memory — sharding changes placement, never contents.
+func TestShardedTrainingMatchesMemory(t *testing.T) {
+	d, err := data.Generate("census", 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(10)
+
+	ref, _ := ml.NewModel("lr", d.X.Cols(), d.Classes, 1, 1)
+	memSrc := ml.NewMemorySource(d, 50, formats.MustGet("TOC"))
+	ml.Train(ref, memSrc, 3, 0.2, nil)
+
+	s, err := NewStore(t.TempDir(), "TOC", 0, WithShards(4), WithEviction(LargestFirst()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < d.NumBatches(50); i++ {
+		x, y := d.Batch(i, 50)
+		if err := s.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, _ := ml.NewModel("lr", d.X.Cols(), d.Classes, 1, 1)
+	ml.Train(m2, s, 3, 0.2, nil)
+
+	w1 := ref.(*ml.LogReg).W
+	w2 := m2.(*ml.LogReg).W
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("weights diverge at %d: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+}
+
+// Hammer concurrent reads across shards while the disk-model knobs are
+// being reconfigured — the SetReadBandwidth data race of the single-file
+// store, now mutex-guarded and exercised under -race. Pinned to two Ps so
+// goroutines genuinely interleave the way CI's GOMAXPROCS=2 pass expects.
+func TestShardedConcurrentReadsAndConfigRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	s, err := NewStore(t.TempDir(), "TOC", 1, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 12
+	for b := 0; b < n; b++ {
+		x := matrix.NewDense(4, 6)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 6; j++ {
+				x.Set(i, j, float64((b+i*j)%5))
+			}
+		}
+		if err := s.Add(x, []float64{0, 1, 0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 6; r++ {
+				i := (g + r*5) % n
+				c, y := s.Batch(i)
+				if c.Rows() != 4 || len(y) != 4 {
+					t.Errorf("batch %d: rows=%d labels=%d", i, c.Rows(), len(y))
+				}
+			}
+		}(g)
+	}
+	// Reconfigure the disk model while reads are in flight: all of these
+	// are mutex-guarded against Batch's snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 24; r++ {
+			s.SetReadBandwidth(int64(1<<20) * int64(r%3+1))
+			s.SetBandwidthModel(BandwidthModel(r % 2))
+			s.SetAccessLatency(time.Duration(r%2) * time.Microsecond)
+			s.Stats()
+		}
+	}()
+	wg.Wait()
+	if got := s.Stats().Reads; got != 8*6 {
+		t.Fatalf("Reads = %d, want %d", got, 8*6)
+	}
+}

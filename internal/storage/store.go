@@ -1,19 +1,28 @@
 // Package storage provides the memory-budgeted mini-batch store that
 // reproduces the paper's out-of-core regime (Figure 1A/1D, Figure 9,
 // Tables 6–7): compressed mini-batches are kept in memory until a budget
-// is exhausted; the rest spill to a file on disk and are re-read — real
-// file IO plus wire decoding — every time an epoch visits them.
+// is exhausted; the rest spill to disk and are re-read — real file IO
+// plus wire decoding — every time an epoch visits them.
 //
 // Which schemes fit inside the budget is exactly what separates the
 // paper's fast and slow configurations: at 15 GB RAM only TOC, Gzip and
 // Snappy kept Imagenet25m resident, and of those only TOC executes matrix
 // operations without decompression.
+//
+// The spill side is sharded: batches spread over N spill files
+// (WithShards), optionally across N directories modeling N devices
+// (WithShardDirs), with placement balancing bytes across shards. Which
+// batches stay resident is a pluggable EvictionPolicy (WithEviction), and
+// the simulated disk supports two bandwidth models (WithBandwidthModel):
+// the per-request throttle whose aggregate scales with queue depth, and a
+// shared token bucket whose aggregate is capped per device.
 package storage
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +37,9 @@ type Stats struct {
 	// ResidentBytes is the compressed size held in memory;
 	// SpilledBytes is the compressed size on disk.
 	ResidentBytes, SpilledBytes int64
+	// Evictions counts resident batches displaced to disk by the
+	// eviction policy during ingest (they are also in SpilledBatches).
+	Evictions int
 	// Reads counts spilled-batch loads; BytesRead totals their sizes.
 	Reads     int64
 	BytesRead int64
@@ -36,73 +48,232 @@ type Stats struct {
 	ReadTime time.Duration
 }
 
-// span locates one spilled batch inside the spill file.
+// span locates one spilled batch inside a shard's spill file.
 type span struct {
+	shard  int
 	off    int64
 	length int64
+}
+
+// shard is one spill file. In the SharedBucket model it services one
+// request at a time (rmu is the arm); reads on distinct shards overlap.
+type shard struct {
+	dir   string
+	dev   *device
+	file  *os.File // created lazily on the shard's first spill
+	wpos  int64
+	bytes int64
+	rmu   sync.Mutex
 }
 
 // Store holds a dataset's compressed mini-batches under a memory budget.
 // It implements the ml.BatchSource contract. Once loading is done (no more
 // Add calls), Batch is safe to call from multiple goroutines — the layout
 // slices are then read-only, file reads use ReadAt, and the IO counters
-// are mutex-guarded — which is what the engine's data-parallel workers and
-// the async Prefetcher rely on.
+// and disk-model configuration are mutex-guarded — which is what the
+// engine's data-parallel workers and the async Prefetcher rely on.
 type Store struct {
 	method string
 	codec  formats.Codec
 	budget int64
-	dir    string
+
+	shards  []*shard
+	devices []*device
+	policy  EvictionPolicy
 
 	resident []formats.CompressedMatrix // nil for spilled batches
 	labels   [][]float64
-	spans    []span // zero length for resident batches
+	spans    []span  // zero length for resident batches
+	sizes    []int64 // compressed size per batch (policy input)
 
-	file      *os.File // spill backing file; created lazily on first spill
-	wpos      int64
+	// mu guards the stats and the disk-model configuration (bandwidth,
+	// model, latency) under concurrent Batch calls; SetReadBandwidth et
+	// al. may be called while readers are in flight.
+	mu        sync.Mutex
 	bandwidth int64 // simulated read bandwidth in bytes/s; 0 = unthrottled
+	model     BandwidthModel
+	latency   time.Duration // simulated per-request access (seek) latency
+	stats     Stats
+}
 
-	mu    sync.Mutex // guards stats under concurrent Batch calls
-	stats Stats
+// storeConfig collects NewStore options.
+type storeConfig struct {
+	shards    int
+	dirs      []string
+	model     BandwidthModel
+	bandwidth int64
+	latency   time.Duration
+	policy    EvictionPolicy
+}
+
+// Option configures a Store at construction.
+type Option func(*storeConfig)
+
+// WithShards spreads the spill across n files; placement balances bytes
+// across them and the Prefetcher reads distinct shards concurrently.
+// The default (n <= 0) is one shard per WithShardDirs directory, or a
+// single file — the historical layout. An explicit count wins over the
+// directory count.
+func WithShards(n int) Option { return func(c *storeConfig) { c.shards = n } }
+
+// WithShardDirs places the spill shards round-robin across the given
+// directories, modeling distinct devices: in the SharedBucket model each
+// directory gets its own token bucket, so total bandwidth is the
+// configured rate times the number of distinct directories in use.
+// Without WithShards the shard count defaults to len(dirs).
+func WithShardDirs(dirs ...string) Option {
+	return func(c *storeConfig) { c.dirs = append([]string(nil), dirs...) }
+}
+
+// WithBandwidthModel selects how SetReadBandwidth is enforced: PerRequest
+// (default, aggregate scales with queue depth) or SharedBucket (aggregate
+// capped per device).
+func WithBandwidthModel(m BandwidthModel) Option {
+	return func(c *storeConfig) { c.model = m }
+}
+
+// WithReadBandwidth sets the simulated read bandwidth at construction
+// (equivalent to SetReadBandwidth, but racing nothing by construction).
+func WithReadBandwidth(bytesPerSec int64) Option {
+	return func(c *storeConfig) { c.bandwidth = bytesPerSec }
+}
+
+// WithAccessLatency adds a fixed per-request latency to every spilled
+// read — the seek/rotation cost of a spindle, or a cloud store's
+// per-request overhead. In the SharedBucket model it serializes within a
+// shard and overlaps across shards; in the PerRequest model it overlaps
+// across concurrent requests like the bandwidth sleep does.
+func WithAccessLatency(d time.Duration) Option {
+	return func(c *storeConfig) { c.latency = d }
+}
+
+// WithEviction selects the residency policy (default FirstFit).
+func WithEviction(p EvictionPolicy) Option {
+	return func(c *storeConfig) { c.policy = p }
 }
 
 // NewStore creates a store for the given scheme. budgetBytes bounds the
-// compressed bytes kept resident; batches beyond it spill to a temp file
-// under dir (""  means the OS temp dir). A budget <= 0 spills everything.
+// compressed bytes kept resident; batches beyond it spill to temp files
+// under dir ("" means the OS temp dir). A budget <= 0 spills everything.
 //
-// The spill file is created lazily on the first spill, so a store whose
-// batches all fit the budget holds no file handle and leaks nothing even
-// if Close is never called.
-func NewStore(dir, method string, budgetBytes int64) (*Store, error) {
+// Spill files are created lazily on each shard's first spill, so a store
+// whose batches all fit the budget holds no file handle and leaks nothing
+// even if Close is never called.
+func NewStore(dir, method string, budgetBytes int64, opts ...Option) (*Store, error) {
 	codec, ok := formats.GetCodec(method)
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown method %q", method)
 	}
-	return &Store{method: method, codec: codec, budget: budgetBytes, dir: dir}, nil
+	cfg := storeConfig{policy: FirstFit()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.dirs) == 0 {
+		cfg.dirs = []string{dir}
+	}
+	// An explicit WithShards count wins (shards round-robin over the
+	// dirs); otherwise one shard per directory, defaulting to one.
+	if cfg.shards <= 0 {
+		cfg.shards = len(cfg.dirs)
+	}
+	if cfg.policy == nil {
+		cfg.policy = FirstFit()
+	}
+	s := &Store{
+		method:    method,
+		codec:     codec,
+		budget:    budgetBytes,
+		policy:    cfg.policy,
+		bandwidth: cfg.bandwidth,
+		model:     cfg.model,
+		latency:   cfg.latency,
+	}
+	// Device identity is the cleaned directory path: shards in the same
+	// directory (however spelled) share one token bucket.
+	byDir := map[string]*device{}
+	for i := 0; i < cfg.shards; i++ {
+		d := cfg.dirs[i%len(cfg.dirs)]
+		if d != "" {
+			d = filepath.Clean(d)
+		}
+		dev, ok := byDir[d]
+		if !ok {
+			dev = &device{dir: d}
+			byDir[d] = dev
+			s.devices = append(s.devices, dev)
+		}
+		s.shards = append(s.shards, &shard{dir: d, dev: dev})
+	}
+	return s, nil
 }
 
 // Method returns the scheme name this store encodes with.
 func (s *Store) Method() string { return s.method }
 
+// Shards returns the number of spill shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ShardBytes returns the spilled bytes placed on each shard — the
+// balance the placement maintains. Call after ingest.
+func (s *Store) ShardBytes() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.bytes
+	}
+	return out
+}
+
+// EvictionPolicyName returns the active residency policy's name.
+func (s *Store) EvictionPolicyName() string { return s.policy.Name() }
+
+// SetUpcomingOrder announces the visit order of the next training epoch
+// to an order-aware eviction policy (AccessOrder) — the same permutation
+// the engine hands the Prefetcher via SetOrder/SetNextOrder. It must be
+// called before the Add calls whose admission it should steer; policies
+// that do not rank by access order ignore it.
+func (s *Store) SetUpcomingOrder(order []int) {
+	if oa, ok := s.policy.(OrderAware); ok {
+		oa.SetUpcomingOrder(order)
+	}
+}
+
 // SetReadBandwidth simulates a storage device of the given read bandwidth
-// (bytes per second) by sleeping proportionally on every spilled read.
-// The paper's large datasets live on actual cloud disks (~100-200 MB/s);
-// at laptop scale the OS page cache would otherwise hide the IO cost this
-// repository needs to reproduce. Zero disables throttling.
+// (bytes per second). The paper's large datasets live on actual cloud
+// disks (~100-200 MB/s); at laptop scale the OS page cache would
+// otherwise hide the IO cost this repository needs to reproduce. Zero
+// disables throttling. How the bandwidth is enforced is the store's
+// BandwidthModel: per-request (aggregate scales with queue depth) or a
+// shared token bucket (aggregate capped per device).
 //
-// The throttle is per request, not per device: N concurrent reads overlap
-// their sleeps and see N× the configured bandwidth in aggregate, modeling
-// a device whose throughput scales with queue depth (cloud block stores,
-// SSDs) rather than a single saturated spindle. Interpret multi-reader
-// prefetch speedups accordingly.
-func (s *Store) SetReadBandwidth(bytesPerSec int64) { s.bandwidth = bytesPerSec }
+// Safe to call concurrently with Batch: configuration is mutex-guarded.
+func (s *Store) SetReadBandwidth(bytesPerSec int64) {
+	s.mu.Lock()
+	s.bandwidth = bytesPerSec
+	s.mu.Unlock()
+}
+
+// SetBandwidthModel switches how the simulated bandwidth is enforced.
+// Safe to call concurrently with Batch.
+func (s *Store) SetBandwidthModel(m BandwidthModel) {
+	s.mu.Lock()
+	s.model = m
+	s.mu.Unlock()
+}
+
+// SetAccessLatency sets the simulated per-request access latency. Safe to
+// call concurrently with Batch.
+func (s *Store) SetAccessLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
 
 // Encode compresses a dense mini-batch with this store's codec; it is the
 // formats.Encoder the engine's parallel ingest shards across workers.
 func (s *Store) Encode(x *matrix.Dense) formats.CompressedMatrix { return s.codec.Encode(x) }
 
 // Add encodes a dense mini-batch and places it in memory or on disk
-// according to the remaining budget.
+// according to the remaining budget and the eviction policy.
 func (s *Store) Add(x *matrix.Dense, y []float64) error {
 	if x.Rows() != len(y) {
 		return fmt.Errorf("storage: batch has %d rows but %d labels", x.Rows(), len(y))
@@ -112,38 +283,133 @@ func (s *Store) Add(x *matrix.Dense, y []float64) error {
 
 // AddCompressed places an already-encoded mini-batch (produced by this
 // store's Encode, possibly on another goroutine) in memory or on disk
-// according to the remaining budget. Add calls must not race with Batch.
+// according to the remaining budget and the eviction policy; admitting it
+// may displace lower-value residents to disk. Add calls must not race
+// with Batch.
 func (s *Store) AddCompressed(c formats.CompressedMatrix, y []float64) error {
 	if c.Rows() != len(y) {
 		return fmt.Errorf("storage: batch has %d rows but %d labels", c.Rows(), len(y))
 	}
+	idx := len(s.resident)
 	size := int64(c.CompressedSize())
-	if s.stats.ResidentBytes+size <= s.budget {
+	admit, err := s.admit(idx, size)
+	if err != nil {
+		return err
+	}
+	if admit {
 		s.labels = append(s.labels, append([]float64(nil), y...))
 		s.resident = append(s.resident, c)
 		s.spans = append(s.spans, span{})
+		s.sizes = append(s.sizes, size)
 		s.stats.ResidentBatches++
 		s.stats.ResidentBytes += size
 		return nil
 	}
-	if s.file == nil {
-		f, err := os.CreateTemp(s.dir, "toc-spill-"+filepath.Base(s.method)+"-*.bin")
-		if err != nil {
-			return fmt.Errorf("storage: create spill file: %w", err)
-		}
-		s.file = f
-	}
-	img := c.Serialize()
-	if _, err := s.file.WriteAt(img, s.wpos); err != nil {
-		return fmt.Errorf("storage: spill write: %w", err)
+	sp, err := s.spill(c.Serialize())
+	if err != nil {
+		return err
 	}
 	s.labels = append(s.labels, append([]float64(nil), y...))
 	s.resident = append(s.resident, nil)
-	s.spans = append(s.spans, span{off: s.wpos, length: int64(len(img))})
-	s.wpos += int64(len(img))
+	s.spans = append(s.spans, sp)
+	s.sizes = append(s.sizes, size)
 	s.stats.SpilledBatches++
-	s.stats.SpilledBytes += int64(len(img))
+	s.stats.SpilledBytes += sp.length
 	return nil
+}
+
+// admit decides whether the incoming batch (idx, size) stays resident,
+// evicting lower-value residents to disk if that frees enough budget.
+func (s *Store) admit(idx int, size int64) (bool, error) {
+	if s.stats.ResidentBytes+size <= s.budget {
+		return true, nil
+	}
+	// First-fit can never evict (the incoming batch always scores lowest),
+	// so skip the candidate scan and keep the historical O(1) spill path.
+	if _, ok := s.policy.(firstFit); ok {
+		return false, nil
+	}
+	vNew := s.policy.Value(idx, size)
+	type cand struct {
+		i    int
+		size int64
+		v    float64
+	}
+	var cands []cand
+	for i, c := range s.resident {
+		if c == nil {
+			continue
+		}
+		if v := s.policy.Value(i, s.sizes[i]); v < vNew {
+			cands = append(cands, cand{i: i, size: s.sizes[i], v: v})
+		}
+	}
+	// Cheapest victims first; ties broken toward evicting the later
+	// arrival, so equal-value layouts stay first-fit-stable.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].v != cands[b].v {
+			return cands[a].v < cands[b].v
+		}
+		return cands[a].i > cands[b].i
+	})
+	need := s.stats.ResidentBytes + size - s.budget
+	var freed int64
+	k := 0
+	for k < len(cands) && freed < need {
+		freed += cands[k].size
+		k++
+	}
+	if freed < need {
+		return false, nil
+	}
+	for _, v := range cands[:k] {
+		if err := s.evict(v.i); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// evict moves resident batch i to disk.
+func (s *Store) evict(i int) error {
+	sp, err := s.spill(s.resident[i].Serialize())
+	if err != nil {
+		return fmt.Errorf("storage: evict batch %d: %w", i, err)
+	}
+	s.stats.ResidentBatches--
+	s.stats.ResidentBytes -= s.sizes[i]
+	s.stats.SpilledBatches++
+	s.stats.SpilledBytes += sp.length
+	s.stats.Evictions++
+	s.resident[i] = nil
+	s.spans[i] = sp
+	return nil
+}
+
+// spill writes one serialized batch to the least-loaded shard (fewest
+// spilled bytes; ties to the lowest index), creating its file lazily.
+func (s *Store) spill(img []byte) (span, error) {
+	best := 0
+	for i, sh := range s.shards {
+		if sh.bytes < s.shards[best].bytes {
+			best = i
+		}
+	}
+	sh := s.shards[best]
+	if sh.file == nil {
+		f, err := os.CreateTemp(sh.dir, "toc-spill-"+filepath.Base(s.method)+"-*.bin")
+		if err != nil {
+			return span{}, fmt.Errorf("storage: create spill file: %w", err)
+		}
+		sh.file = f
+	}
+	if _, err := sh.file.WriteAt(img, sh.wpos); err != nil {
+		return span{}, fmt.Errorf("storage: spill write: %w", err)
+	}
+	sp := span{shard: best, off: sh.wpos, length: int64(len(img))}
+	sh.wpos += int64(len(img))
+	sh.bytes += int64(len(img))
+	return sp, nil
 }
 
 // NumBatches returns the number of stored mini-batches.
@@ -153,22 +419,60 @@ func (s *Store) NumBatches() int { return len(s.resident) }
 // incurs no IO). The Prefetcher uses this to schedule only spilled reads.
 func (s *Store) Resident(i int) bool { return s.resident[i] != nil }
 
-// Batch returns mini-batch i, reading and decoding it from the spill file
-// if it is not resident. Disk corruption is a programming/environment
-// error and panics with context. Safe for concurrent use once loading is
-// done.
+// ShardOf returns the spill shard holding batch i, or -1 if it is
+// resident. The Prefetcher routes its per-shard readers with it.
+func (s *Store) ShardOf(i int) int {
+	if s.resident[i] != nil {
+		return -1
+	}
+	return s.spans[i].shard
+}
+
+// Batch returns mini-batch i, reading and decoding it from its spill
+// shard if it is not resident. Disk corruption is a
+// programming/environment error and panics with context. Safe for
+// concurrent use once loading is done.
 func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
 	if c := s.resident[i]; c != nil {
 		return c, s.labels[i]
 	}
+	s.mu.Lock()
+	bw, model, latency := s.bandwidth, s.model, s.latency
+	s.mu.Unlock()
 	start := time.Now()
 	sp := s.spans[i]
+	sh := s.shards[sp.shard]
 	buf := make([]byte, sp.length)
-	if _, err := s.file.ReadAt(buf, sp.off); err != nil {
-		panic(fmt.Sprintf("storage: read spilled batch %d: %v", i, err))
-	}
-	if s.bandwidth > 0 {
-		want := time.Duration(float64(sp.length) / float64(s.bandwidth) * float64(time.Second))
+	if model == SharedBucket {
+		// One request at a time per shard (the arm); the access latency
+		// and the bucket-paced transfer both keep the shard busy, but
+		// distinct shards proceed concurrently under the device's shared
+		// aggregate cap.
+		sh.rmu.Lock()
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		if _, err := sh.file.ReadAt(buf, sp.off); err != nil {
+			sh.rmu.Unlock()
+			panic(fmt.Sprintf("storage: read spilled batch %d: %v", i, err))
+		}
+		if bw > 0 {
+			if wait := sh.dev.bucket.reserve(sp.length, bw); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		sh.rmu.Unlock()
+	} else {
+		// Per-request throttle: each read sleeps to its own deadline, so
+		// concurrent requests overlap their sleeps and aggregate
+		// throughput scales with queue depth.
+		if _, err := sh.file.ReadAt(buf, sp.off); err != nil {
+			panic(fmt.Sprintf("storage: read spilled batch %d: %v", i, err))
+		}
+		want := latency
+		if bw > 0 {
+			want += time.Duration(float64(sp.length) / float64(bw) * float64(time.Second))
+		}
 		if spent := time.Since(start); want > spent {
 			time.Sleep(want - spent)
 		}
@@ -206,16 +510,22 @@ func (s *Store) Spilled() bool {
 	return s.stats.SpilledBatches > 0
 }
 
-// Close removes the spill file; a fully-resident store has none and
-// closes trivially.
+// Close removes every shard's spill file; a fully-resident store has none
+// and closes trivially.
 func (s *Store) Close() error {
-	if s.file == nil {
-		return nil
+	var firstErr error
+	for _, sh := range s.shards {
+		if sh.file == nil {
+			continue
+		}
+		name := sh.file.Name()
+		if err := sh.file.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := os.Remove(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh.file = nil
 	}
-	name := s.file.Name()
-	if err := s.file.Close(); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return os.Remove(name)
+	return firstErr
 }

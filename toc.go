@@ -25,6 +25,8 @@
 package toc
 
 import (
+	"time"
+
 	"toc/internal/core"
 	"toc/internal/data"
 	"toc/internal/engine"
@@ -183,27 +185,117 @@ func TrainParallel(m Model, src BatchSource, epochs int, lr float64, workers int
 
 // Store is a memory-budgeted mini-batch store: batches beyond the budget
 // spill to disk and are re-read every epoch, reproducing the paper's
-// out-of-core training regime.
+// out-of-core training regime. The spill side is sharded across N files
+// (optionally N directories, modeling N devices), its residency is a
+// pluggable eviction policy, and its simulated disk supports two
+// bandwidth models — see the StoreOption constructors.
 type Store = storage.Store
 
+// StoreOption configures a Store at construction (shard count, shard
+// directories, bandwidth model, eviction policy, ...).
+type StoreOption = storage.Option
+
+// BandwidthModel selects how the store's simulated read bandwidth is
+// enforced: PerRequest (each read throttled independently; aggregate
+// throughput scales with queue depth, like cloud block stores) or
+// SharedBucket (one token bucket per device caps aggregate throughput at
+// the configured rate, like a spindle behind a fixed bus).
+type BandwidthModel = storage.BandwidthModel
+
+// The two simulated-disk bandwidth models.
+const (
+	PerRequest   = storage.PerRequest
+	SharedBucket = storage.SharedBucket
+)
+
+// ParseBandwidthModel resolves a flag value ("per-request", "shared-bucket",
+// ...) to a BandwidthModel.
+func ParseBandwidthModel(name string) (BandwidthModel, error) {
+	return storage.ParseBandwidthModel(name)
+}
+
+// EvictionPolicy decides which batches stay resident when the store's
+// memory budget overflows during ingest; see FirstFitPolicy,
+// LargestFirstPolicy and AccessOrderPolicy.
+type EvictionPolicy = storage.EvictionPolicy
+
+// FirstFitPolicy admits batches in arrival order until the budget is
+// exhausted and never evicts — the historical residency behavior.
+func FirstFitPolicy() EvictionPolicy { return storage.FirstFit() }
+
+// LargestFirstPolicy keeps the smallest compressed batches resident,
+// minimizing the number of spilled reads per epoch (the dominant cost on
+// seek-bound devices).
+func LargestFirstPolicy() EvictionPolicy { return storage.LargestFirst() }
+
+// AccessOrderPolicy is the Belady-style policy: batches visited earliest
+// in the announced epoch order (Store.SetUpcomingOrder; the engine's
+// FillStore announces it automatically) stay resident.
+func AccessOrderPolicy() EvictionPolicy { return storage.AccessOrder() }
+
+// NewEvictionPolicy resolves a flag value ("first-fit", "largest-first",
+// "access-order") to a fresh policy.
+func NewEvictionPolicy(name string) (EvictionPolicy, error) {
+	return storage.NewEvictionPolicy(name)
+}
+
+// WithShards spreads the store's spill across n files; placement balances
+// bytes and the prefetcher reads distinct shards concurrently.
+func WithShards(n int) StoreOption { return storage.WithShards(n) }
+
+// WithShardDirs places spill shards round-robin across directories,
+// modeling distinct devices (each gets its own SharedBucket budget).
+func WithShardDirs(dirs ...string) StoreOption { return storage.WithShardDirs(dirs...) }
+
+// WithBandwidthModel selects PerRequest (default) or SharedBucket.
+func WithBandwidthModel(m BandwidthModel) StoreOption { return storage.WithBandwidthModel(m) }
+
+// WithReadBandwidth sets the simulated read bandwidth (bytes/second) at
+// construction; 0 leaves reads unthrottled.
+func WithReadBandwidth(bytesPerSec int64) StoreOption {
+	return storage.WithReadBandwidth(bytesPerSec)
+}
+
+// WithAccessLatency adds a fixed per-request latency to every spilled
+// read (a spindle's seek, a cloud store's request overhead).
+func WithAccessLatency(d time.Duration) StoreOption { return storage.WithAccessLatency(d) }
+
+// WithEviction selects the store's residency policy (default first-fit).
+func WithEviction(p EvictionPolicy) StoreOption { return storage.WithEviction(p) }
+
 // NewStore creates a store holding batches encoded with method under a
-// resident-bytes budget; dir "" uses the OS temp dir.
-func NewStore(dir, method string, budgetBytes int64) (*Store, error) {
-	return storage.NewStore(dir, method, budgetBytes)
+// resident-bytes budget; dir "" uses the OS temp dir. Options configure
+// spill sharding, the disk model and the eviction policy.
+func NewStore(dir, method string, budgetBytes int64, opts ...StoreOption) (*Store, error) {
+	return storage.NewStore(dir, method, budgetBytes, opts...)
 }
 
 // Prefetcher reads spilled batches ahead of the training loop so their IO
 // and wire decoding overlap compute instead of sitting on the critical
 // path. It is a BatchSource; the engine feeds it each epoch's visit order.
+// Its reader pool is split across the store's spill shards, so sharded
+// stores serve truly concurrent reads.
 type Prefetcher = storage.Prefetcher
 
 // PrefetchStats reports prefetch hits, misses, issued reads and residual
 // stall time.
 type PrefetchStats = storage.PrefetchStats
 
+// PrefetchOption configures a Prefetcher at construction.
+type PrefetchOption = storage.PrefetchOption
+
+// WithPrefetchBytes bounds the compressed bytes held prefetched or in
+// flight, so a deep window on large batches cannot outgrow the memory
+// budget the store is protecting. 0 (the default) disables the bound.
+func WithPrefetchBytes(maxBytes int64) PrefetchOption {
+	return storage.WithPrefetchBytes(maxBytes)
+}
+
 // NewPrefetcher wraps a fully-loaded store with an async spill prefetcher
 // holding up to depth upcoming batches, served by readers background
-// goroutines (readers <= 0 picks a small default).
-func NewPrefetcher(s *Store, depth, readers int) *Prefetcher {
-	return storage.NewPrefetcher(s, depth, readers)
+// goroutines split across the store's spill shards (readers <= 0 picks a
+// small default; every shard gets at least one). Engine.NewPrefetcher
+// sizes one automatically from the worker pool and shard layout.
+func NewPrefetcher(s *Store, depth, readers int, opts ...PrefetchOption) *Prefetcher {
+	return storage.NewPrefetcher(s, depth, readers, opts...)
 }
