@@ -28,7 +28,9 @@
 // after the group's slots shard the kernels inside each gradient — the
 // parallel left/right multiplications are bitwise identical to the
 // sequential ones, so "-workers 8 -group 1" walks the serial trajectory
-// on all eight cores.
+// on all eight cores. Each gradient also shares one decode-tree build
+// across its kernels (KernelPlan); the run prints the build counter so
+// the amortization is visible.
 package main
 
 import (
@@ -137,6 +139,7 @@ func main() {
 	}
 	var res *toc.TrainResult
 	var pf *toc.Prefetcher
+	treeBuilds := toc.DecodeTreeBuilds()
 	if eng != nil {
 		gm, ok := model.(toc.GradModel)
 		if !ok {
@@ -150,10 +153,13 @@ func main() {
 	} else {
 		res = toc.Train(model, store, *epochs, *lr, cb)
 	}
+	treeBuilds = toc.DecodeTreeBuilds() - treeBuilds
 	st = store.Stats()
 	fmt.Printf("total %.1fms (IO %.1fms, %d spilled reads), final error %.3f\n",
 		res.Total.Seconds()*1e3, st.ReadTime.Seconds()*1e3, st.Reads,
 		toc.EvaluateError(model, store))
+	fmt.Printf("decode-tree builds during training: %d (plan reuse: one per batch-gradient, not one per op)\n",
+		treeBuilds)
 	if pf != nil {
 		ps := pf.Stats()
 		fmt.Printf("prefetch: %d hits, %d misses, %d issued, stall %.1fms\n",

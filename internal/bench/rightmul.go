@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"toc/internal/formats"
+	"toc/internal/matrix"
+)
+
+// The rightmul regime of the scaling bench family isolates the forward
+// kernels — the right multiplications A·v (linear-model scoring) and A·M
+// (NN input layer) that every model's forward pass runs. Each measured
+// "step" mimics what a gradient step does on one compressed batch: build
+// one KernelPlan (a single decode-tree build) and push both forward
+// kernels through it at the configured worker count. The serial baseline
+// is the historical path: sequential kernels, one tree rebuild per op.
+//
+// Because the sharded kernels and the plan are bitwise identical to the
+// sequential per-op path, every row reports the same checksum — worker
+// count and plan reuse buy wall-clock, never different numbers.
+
+func init() {
+	register("rightmul", "right-multiplication (forward) kernel scaling with per-step plan reuse", runRightMul)
+}
+
+func runRightMul(cfg Config) (*Table, error) {
+	const batchSize, p = 1000, 32
+	t := &Table{
+		ID:    "rightmul",
+		Title: "right-mul kernel scaling (A·v + A·M per step, TOC batches)",
+		Columns: []string{"config", "workers", "steps", "kernel_ms", "per_step_us",
+			"speedup", "checksum"},
+		Notes: []string{
+			"each step = one batch's forward pair A·v + A·M; plan rows build C' once",
+			"  per step (KernelPlan), serial row rebuilds it per op",
+			fmt.Sprintf("  (GOMAXPROCS=%d; identical checksum across rows = bitwise-identical results)",
+				runtime.GOMAXPROCS(0)),
+		},
+	}
+	d, err := getDataset("imagenet", cfg.rows(4000), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := d.NumBatches(batchSize)
+	enc := formats.MustGet("TOC")
+	batches := make([]formats.ParallelOps, n)
+	for i := 0; i < n; i++ {
+		x, _ := d.Batch(i, batchSize)
+		po, ok := enc(x).(formats.ParallelOps)
+		if !ok {
+			return nil, fmt.Errorf("rightmul: TOC does not implement ParallelOps")
+		}
+		batches[i] = po
+	}
+	cols := d.X.Cols()
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	v := make([]float64, cols)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	m := matrix.NewDense(cols, p)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < p; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	steps := int(10 * cfg.Scale)
+	if steps < 2 {
+		steps = 2
+	}
+
+	// checksum folds every result element in a fixed order, so it is
+	// bit-for-bit identical across configs exactly when the kernels are.
+	measure := func(workers int, plan bool) (time.Duration, float64) {
+		var sum float64
+		start := time.Now()
+		for s := 0; s < steps; s++ {
+			for _, b := range batches {
+				var r1 []float64
+				var r2 *matrix.Dense
+				if plan {
+					kp := b.NewKernelPlan()
+					r1 = kp.MulVec(v, workers)
+					r2 = kp.MulMat(m, workers)
+				} else {
+					r1 = b.MulVec(v)
+					r2 = b.MulMat(m)
+				}
+				for _, x := range r1 {
+					sum += x
+				}
+				for _, x := range r2.Data() {
+					sum += x
+				}
+			}
+		}
+		return time.Since(start), sum
+	}
+
+	serialDur, serialSum := measure(1, false)
+	row := func(config string, workers int, dur time.Duration, sum float64) {
+		totalSteps := steps * len(batches)
+		t.Rows = append(t.Rows, []string{
+			config, fmt.Sprint(workers), fmt.Sprint(totalSteps),
+			fmt.Sprintf("%.0f", dur.Seconds()*1e3),
+			fmt.Sprintf("%.0f", dur.Seconds()*1e6/float64(totalSteps)),
+			fmt.Sprintf("%.2f", serialDur.Seconds()/dur.Seconds()),
+			fmt.Sprintf("%016x", math.Float64bits(sum)),
+		})
+	}
+	row("serial", 1, serialDur, serialSum)
+	for _, w := range addCount([]int{1, 2, 4, 8}, cfg.Workers) {
+		dur, sum := measure(w, true)
+		row("plan", w, dur, sum)
+	}
+	return t, nil
+}

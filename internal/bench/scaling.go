@@ -26,6 +26,10 @@ import (
 //     aggregation) and M·A (NN input-layer backward), plus the right-mul
 //     forward passes, sharded across the pool.
 //
+// The forward direction has its own regime, "rightmul" (rightmul.go):
+// A·v/A·M kernel throughput across worker counts with per-step
+// decode-tree (KernelPlan) reuse.
+//
 // Each regime has one serial ml.Train baseline row and one engine row per
 // worker count over the same seeded trajectory. Because the engine merges
 // each step's shard gradients in batch order — and the parallel kernels

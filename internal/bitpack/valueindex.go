@@ -55,9 +55,17 @@ func (vi *ValueIndex) Values() []float64 { return vi.values }
 func (vi *ValueIndex) Indexes() []uint32 { return vi.indexes }
 
 // EncodedSize returns the bytes AppendTo writes: the value dictionary
-// (uint32 count + 8 bytes per value) plus the bit-packed occurrence indexes.
+// (uint32 count + 8 bytes per value) plus the bit-packed occurrence
+// indexes — computed arithmetically (a max scan, no packing), so callers
+// presizing a buffer do not pay AppendTo's O(n) pack twice.
 func (vi *ValueIndex) EncodedSize() int {
-	return 4 + 8*len(vi.values) + Pack(vi.indexes).EncodedSize()
+	var max uint32
+	for _, v := range vi.indexes {
+		if v > max {
+			max = v
+		}
+	}
+	return 4 + 8*len(vi.values) + headerSize + BytesPerInt(max)*len(vi.indexes)
 }
 
 // AppendTo appends the encoded dictionary and occurrence indexes to dst.

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Algorithm 2: build the prefix tree C' used for decoding and for the
 // compressed matrix kernels. C' is a simplified variant of the encoding
@@ -20,16 +23,18 @@ type DecodeTree struct {
 func (t *DecodeTree) Len() int { return len(t.Key) }
 
 // Seq reconstructs the full pair sequence represented by node idx by
-// backtracking parent links (the sequence definition of §3.1.1).
+// backtracking parent links (the sequence definition of §3.1.1). One
+// counting walk sizes the result exactly, then a second walk fills it
+// back to front — a single allocation, no reverse buffer.
 func (t *DecodeTree) Seq(idx uint32) []Pair {
-	var rev []Pair
-	for idx != 0 {
-		rev = append(rev, t.Key[idx])
-		idx = t.Parent[idx]
+	n := 0
+	for i := idx; i != 0; i = t.Parent[i] {
+		n++
 	}
-	seq := make([]Pair, len(rev))
-	for i := range rev {
-		seq[i] = rev[len(rev)-1-i]
+	seq := make([]Pair, n)
+	for i := idx; i != 0; i = t.Parent[i] {
+		n--
+		seq[n] = t.Key[i]
 	}
 	return seq
 }
@@ -142,7 +147,16 @@ func BuildPrefixTree(I []Pair, D dTable) *DecodeTree {
 	return t
 }
 
+// treeBuilds counts every C' build in the process — the white-box
+// counter that proves KernelPlan amortizes the per-op rebuild (one build
+// per batch-step in the ml layer instead of one per kernel call).
+var treeBuilds atomic.Uint64
+
+// TreeBuilds returns the cumulative number of decode-tree (C') builds.
+func TreeBuilds() uint64 { return treeBuilds.Load() }
+
 func fillPrefixTree(t *DecodeTree, I []Pair, D dTable) {
+	treeBuilds.Add(1)
 	rows := D.rows()
 	starts := D.Starts
 

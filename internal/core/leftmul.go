@@ -12,28 +12,27 @@ import (
 // each node contributes key·G to the result and pushes its accumulated
 // weight up to its parent, evaluating Equation 8 without ever
 // materializing node sequences.
+//
+// Like the right multiplications, the kernels are split into
+// tree-parameterized bodies shared by the per-call builders here, the
+// sharded drivers in leftmul_parallel.go, and KernelPlan (plan.go).
 
 // VecMul computes v·A on the compressed batch.
 func (b *Batch) VecMul(v []float64) []float64 {
 	if len(v) != b.rows {
 		panic(fmt.Sprintf("core: VecMul dim mismatch %d != %d", len(v), b.rows))
 	}
-	r := make([]float64, b.cols)
 	if b.variant == SparseOnly {
-		for i := 0; i < b.rows; i++ {
-			vi := v[i]
-			if vi == 0 {
-				continue
-			}
-			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-				r[b.srCols[k]] += vi * b.srVals[k]
-			}
-		}
-		return r
+		return b.vecMulSparseSeq(v)
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
+	return b.vecMulTree(t, sc, v)
+}
+
+// vecMulTree is v·A over an already-built decode tree.
+func (b *Batch) vecMulTree(t *DecodeTree, sc *opScratch, v []float64) []float64 {
 	// Scan D to compute H[x] = G(x).
 	h := sc.floatBuf(t.Len())
 	for i := 0; i < b.rows; i++ {
@@ -44,10 +43,26 @@ func (b *Batch) VecMul(v []float64) []float64 {
 	}
 	// Scan C' backwards: children precede parents, so pushing H[i] onto
 	// H[parent] visits every implicit sequence element exactly once.
+	r := make([]float64, b.cols)
 	for i := t.Len() - 1; i >= 1; i-- {
 		k := t.Key[i]
 		r[k.Col] += k.Val * h[i]
 		h[t.Parent[i]] += h[i]
+	}
+	return r
+}
+
+// vecMulSparseSeq is the SparseOnly v·A.
+func (b *Batch) vecMulSparseSeq(v []float64) []float64 {
+	r := make([]float64, b.cols)
+	for i := 0; i < b.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+			r[b.srCols[k]] += vi * b.srVals[k]
+		}
 	}
 	return r
 }
@@ -57,23 +72,21 @@ func (b *Batch) MatMul(m *matrix.Dense) *matrix.Dense {
 	if m.Cols() != b.rows {
 		panic(fmt.Sprintf("core: MatMul dim mismatch %d != %d", m.Cols(), b.rows))
 	}
-	p := m.Rows()
-	r := matrix.NewDense(p, b.cols)
 	if b.variant == SparseOnly {
-		for i := 0; i < b.rows; i++ {
-			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-				col := int(b.srCols[k])
-				val := b.srVals[k]
-				for row := 0; row < p; row++ {
-					r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
-				}
-			}
-		}
+		r := matrix.NewDense(m.Rows(), b.cols)
+		b.matMulSparseRange(m, r, 0, m.Rows())
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
+	return b.matMulTree(t, sc, m)
+}
+
+// matMulTree is M·A over an already-built decode tree.
+func (b *Batch) matMulTree(t *DecodeTree, sc *opScratch, m *matrix.Dense) *matrix.Dense {
+	p := m.Rows()
+	r := matrix.NewDense(p, b.cols)
 	// Scan D to compute H[x,:] = G(x) = Σ_{D[i,j]=x} M[:,i]. H is stored
 	// node-major ("transposed" in the paper's wording) so D is scanned
 	// once with good locality.
@@ -98,4 +111,17 @@ func (b *Batch) MatMul(m *matrix.Dense) *matrix.Dense {
 		}
 	}
 	return r
+}
+
+// matMulSparseRange is the SparseOnly M·A for result rows [klo,khi).
+func (b *Batch) matMulSparseRange(m *matrix.Dense, r *matrix.Dense, klo, khi int) {
+	for i := 0; i < b.rows; i++ {
+		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+			col := int(b.srCols[k])
+			val := b.srVals[k]
+			for row := klo; row < khi; row++ {
+				r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
+			}
+		}
+	}
 }

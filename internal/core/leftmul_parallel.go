@@ -9,13 +9,14 @@ import (
 )
 
 // Parallel left multiplications: v·A (Algorithm 5) and M·A (Algorithm 8)
-// sharded across goroutines. Unlike the right-mul path (parallel.go),
-// where every output row depends on one tuple of D only, the left-mul D
-// scan accumulates into shared per-node state H[x] = G(x). Sharding D by
-// rows would give each worker a partial H whose per-node sums fold in a
-// different order than the sequential scan, so the merged floats could
-// drift from VecMul/MatMul in the last bit — and the engine's "worker
-// count never changes the trajectory" guarantee would be lost.
+// sharded across goroutines. Unlike the right-mul path
+// (rightmul_parallel.go), where every output row depends on one tuple of
+// D only, the left-mul D scan accumulates into shared per-node state
+// H[x] = G(x). Sharding D by rows would give each worker a partial H
+// whose per-node sums fold in a different order than the sequential scan,
+// so the merged floats could drift from VecMul/MatMul in the last bit —
+// and the engine's "worker count never changes the trajectory" guarantee
+// would be lost.
 //
 // The kernels therefore partition the *accumulators*, not the rows, which
 // keeps every floating-point reduction in exactly the sequential order:
@@ -44,15 +45,20 @@ func (b *Batch) VecMulParallel(v []float64, workers int) []float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || b.rows < 2*workers {
-		return b.VecMul(v)
-	}
 	if b.variant == SparseOnly {
 		return b.vecMulSparseParallel(v, workers)
+	}
+	if workers == 1 || b.rows < 2*workers {
+		return b.VecMul(v)
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
+	return b.vecMulTreePar(t, sc, v, workers)
+}
+
+// vecMulTreePar is the accumulator-sharded v·A body over a built tree.
+func (b *Batch) vecMulTreePar(t *DecodeTree, sc *opScratch, v []float64, workers int) []float64 {
 	h := sc.floatBuf(t.Len())
 
 	// Scan D with the node space partitioned: worker w reads every tuple
@@ -172,13 +178,13 @@ func scatterCols(t *DecodeTree, h, r []float64, workers int) {
 // disjoint column ranges; per column the accumulation order is the
 // sequential row order, so the result is bitwise identical.
 func (b *Batch) vecMulSparseParallel(v []float64, workers int) []float64 {
-	r := make([]float64, b.cols)
 	if workers > b.cols {
 		workers = b.cols
 	}
 	if workers <= 1 {
-		return b.VecMul(v)
+		return b.vecMulSparseSeq(v)
 	}
+	r := make([]float64, b.cols)
 	var wg sync.WaitGroup
 	span := (b.cols + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -231,74 +237,44 @@ func (b *Batch) MatMulParallel(m *matrix.Dense, workers int) *matrix.Dense {
 	if workers <= 1 {
 		return b.MatMul(m)
 	}
-	r := matrix.NewDense(p, b.cols)
-	span := (p + workers - 1) / workers
 	if b.variant == SparseOnly {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			klo, khi := w*span, (w+1)*span
-			if khi > p {
-				khi = p
-			}
-			if klo >= khi {
-				break
-			}
-			wg.Add(1)
-			go func(klo, khi int) {
-				defer wg.Done()
-				for i := 0; i < b.rows; i++ {
-					for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-						col := int(b.srCols[k])
-						val := b.srVals[k]
-						for row := klo; row < khi; row++ {
-							r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
-						}
-					}
-				}
-			}(klo, khi)
-		}
-		wg.Wait()
+		r := matrix.NewDense(p, b.cols)
+		forEachSpan(p, workers, func(klo, khi int) { b.matMulSparseRange(m, r, klo, khi) })
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
+	return b.matMulTreePar(t, sc, m, workers)
+}
+
+// matMulTreePar is the p-sharded M·A body over a built tree; callers
+// guarantee 2 <= workers <= p. No barrier between the scans: worker w
+// touches only columns [klo,khi) of H and rows [klo,khi) of r, so its
+// backward scan depends on nothing another worker writes.
+func (b *Batch) matMulTreePar(t *DecodeTree, sc *opScratch, m *matrix.Dense, workers int) *matrix.Dense {
+	p := m.Rows()
+	r := matrix.NewDense(p, b.cols)
 	h := sc.floatBuf(t.Len() * p)
-	// No barrier between the scans: worker w touches only columns
-	// [klo,khi) of H and rows [klo,khi) of r, so its backward scan depends
-	// on nothing another worker writes.
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		klo, khi := w*span, (w+1)*span
-		if khi > p {
-			khi = p
-		}
-		if klo >= khi {
-			break
-		}
-		wg.Add(1)
-		go func(klo, khi int) {
-			defer wg.Done()
-			for i := 0; i < b.rows; i++ {
-				for _, n := range b.d.row(i) {
-					hn := h[int(n)*p : int(n)*p+p]
-					for k := klo; k < khi; k++ {
-						hn[k] += m.At(k, i)
-					}
-				}
-			}
-			for i := t.Len() - 1; i >= 1; i-- {
-				key := t.Key[i]
-				hi := h[i*p : i*p+p]
-				hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
-				col := int(key.Col)
+	forEachSpan(p, workers, func(klo, khi int) {
+		for i := 0; i < b.rows; i++ {
+			for _, n := range b.d.row(i) {
+				hn := h[int(n)*p : int(n)*p+p]
 				for k := klo; k < khi; k++ {
-					r.Set(k, col, r.At(k, col)+key.Val*hi[k])
-					hp[k] += hi[k]
+					hn[k] += m.At(k, i)
 				}
 			}
-		}(klo, khi)
-	}
-	wg.Wait()
+		}
+		for i := t.Len() - 1; i >= 1; i-- {
+			key := t.Key[i]
+			hi := h[i*p : i*p+p]
+			hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
+			col := int(key.Col)
+			for k := klo; k < khi; k++ {
+				r.Set(k, col, r.At(k, col)+key.Val*hi[k])
+				hp[k] += hi[k]
+			}
+		}
+	})
 	return r
 }

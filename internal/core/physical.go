@@ -38,13 +38,12 @@ func (b *Batch) Serialize() []byte {
 	return b.img
 }
 
+// buildImage serializes in one exactly-sized allocation: every section's
+// size is computable up front (bitpack arrays expose EncodedSize), so the
+// buffer never regrows during spill ingest, and the raw u32/f64 sections
+// of the ablation variants are written with bulk little-endian stores
+// instead of per-element appends.
 func (b *Batch) buildImage() []byte {
-	out := make([]byte, 0, headerSize)
-	out = append(out, imageMagic...)
-	out = append(out, imageVersion, byte(b.variant))
-	out = appendU32(out, uint32(b.rows))
-	out = appendU32(out, uint32(b.cols))
-
 	switch b.variant {
 	case Full:
 		cols := make([]uint32, len(b.i))
@@ -53,38 +52,77 @@ func (b *Batch) buildImage() []byte {
 			cols[k] = p.Col
 			vals[k] = p.Val
 		}
-		out = bitpack.Pack(cols).AppendTo(out)
-		out = bitpack.BuildValueIndex(vals).AppendTo(out)
-		out = bitpack.Pack(b.d.Nodes).AppendTo(out)
-		out = bitpack.Pack(b.d.Starts).AppendTo(out)
+		pc := bitpack.Pack(cols)
+		vi := bitpack.BuildValueIndex(vals)
+		pn := bitpack.Pack(b.d.Nodes)
+		ps := bitpack.Pack(b.d.Starts)
+		out := make([]byte, 0, headerSize+pc.EncodedSize()+vi.EncodedSize()+pn.EncodedSize()+ps.EncodedSize())
+		out = b.appendHeader(out)
+		out = pc.AppendTo(out)
+		out = vi.AppendTo(out)
+		out = pn.AppendTo(out)
+		return ps.AppendTo(out)
 
 	case SparseLogical:
-		out = appendU32(out, uint32(len(b.i)))
+		size := headerSize + 4 + 12*len(b.i) + 4 + 4*len(b.d.Nodes) + 4*len(b.d.Starts)
+		out := b.appendHeader(make([]byte, headerSize, size))[:size]
+		off := headerSize
+		binary.LittleEndian.PutUint32(out[off:], uint32(len(b.i)))
+		off += 4
 		for _, p := range b.i {
-			out = appendU32(out, p.Col)
-			out = appendF64(out, p.Val)
+			binary.LittleEndian.PutUint32(out[off:], p.Col)
+			binary.LittleEndian.PutUint64(out[off+4:], math.Float64bits(p.Val))
+			off += 12
 		}
-		out = appendU32(out, uint32(len(b.d.Nodes)))
-		for _, n := range b.d.Nodes {
-			out = appendU32(out, n)
-		}
-		for _, s := range b.d.Starts {
-			out = appendU32(out, s)
-		}
+		binary.LittleEndian.PutUint32(out[off:], uint32(len(b.d.Nodes)))
+		off += 4
+		off += putU32s(out[off:], b.d.Nodes)
+		putU32s(out[off:], b.d.Starts)
+		return out
 
 	case SparseOnly:
-		out = appendU32(out, uint32(len(b.srCols)))
-		for _, s := range b.srStarts {
-			out = appendU32(out, s)
-		}
-		for _, c := range b.srCols {
-			out = appendU32(out, c)
-		}
-		for _, v := range b.srVals {
-			out = appendF64(out, v)
-		}
+		nnz := len(b.srCols)
+		size := headerSize + 4 + 4*len(b.srStarts) + 4*nnz + 8*nnz
+		out := b.appendHeader(make([]byte, headerSize, size))[:size]
+		off := headerSize
+		binary.LittleEndian.PutUint32(out[off:], uint32(nnz))
+		off += 4
+		off += putU32s(out[off:], b.srStarts)
+		off += putU32s(out[off:], b.srCols)
+		putF64s(out[off:], b.srVals)
+		return out
 	}
+	return b.appendHeader(make([]byte, 0, headerSize))
+}
+
+// appendHeader writes the shared image header into out[:headerSize]
+// (which must have that capacity) and returns out sized to it.
+func (b *Batch) appendHeader(out []byte) []byte {
+	out = out[:headerSize]
+	copy(out, imageMagic)
+	out[4] = imageVersion
+	out[5] = byte(b.variant)
+	binary.LittleEndian.PutUint32(out[6:], uint32(b.rows))
+	binary.LittleEndian.PutUint32(out[10:], uint32(b.cols))
 	return out
+}
+
+// putU32s bulk-writes vals little-endian into dst, returning the byte
+// count written.
+func putU32s(dst []byte, vals []uint32) int {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(dst[i*4:], v)
+	}
+	return 4 * len(vals)
+}
+
+// putF64s bulk-writes vals little-endian into dst, returning the byte
+// count written.
+func putF64s(dst []byte, vals []float64) int {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+	return 8 * len(vals)
 }
 
 // Deserialize reconstructs a Batch from a physical image produced by
@@ -189,13 +227,8 @@ func (b *Batch) parseSparseLogical(buf []byte) error {
 		return fmt.Errorf("core: D section is %d bytes, want %d", len(buf), need)
 	}
 	b.d = dTable{Nodes: make([]uint32, lenN), Starts: make([]uint32, b.rows+1)}
-	for k := range b.d.Nodes {
-		b.d.Nodes[k] = binary.LittleEndian.Uint32(buf[k*4:])
-	}
-	buf = buf[lenN*4:]
-	for k := range b.d.Starts {
-		b.d.Starts[k] = binary.LittleEndian.Uint32(buf[k*4:])
-	}
+	buf = buf[getU32s(b.d.Nodes, buf):]
+	getU32s(b.d.Starts, buf)
 	return b.validateLogical()
 }
 
@@ -209,19 +242,11 @@ func (b *Batch) parseSparseOnly(buf []byte) error {
 		return fmt.Errorf("core: sparse section is %d bytes, want %d", len(buf), need)
 	}
 	b.srStarts = make([]uint32, b.rows+1)
-	for k := range b.srStarts {
-		b.srStarts[k] = binary.LittleEndian.Uint32(buf[k*4:])
-	}
-	buf = buf[(b.rows+1)*4:]
+	buf = buf[getU32s(b.srStarts, buf):]
 	b.srCols = make([]uint32, nnz)
-	for k := range b.srCols {
-		b.srCols[k] = binary.LittleEndian.Uint32(buf[k*4:])
-	}
-	buf = buf[nnz*4:]
+	buf = buf[getU32s(b.srCols, buf):]
 	b.srVals = make([]float64, nnz)
-	for k := range b.srVals {
-		b.srVals[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[k*8:]))
-	}
+	getF64s(b.srVals, buf)
 	// Validate.
 	prev := uint32(0)
 	for k, s := range b.srStarts {
@@ -284,16 +309,25 @@ func (b *Batch) validateLogical() error {
 	return nil
 }
 
-func appendU32(dst []byte, v uint32) []byte {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	return append(dst, b[:]...)
+// getU32s bulk-decodes len(dst) little-endian u32s from src (which the
+// caller has length-checked), returning the byte count consumed. The
+// explicit reslice hoists the bounds check out of the loop.
+func getU32s(dst []uint32, src []byte) int {
+	src = src[:4*len(dst)]
+	for k := 0; 4*k < len(src); k++ {
+		dst[k] = binary.LittleEndian.Uint32(src[4*k:])
+	}
+	return 4 * len(dst)
 }
 
-func appendF64(dst []byte, v float64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	return append(dst, b[:]...)
+// getF64s bulk-decodes len(dst) little-endian f64s from src (which the
+// caller has length-checked), returning the byte count consumed.
+func getF64s(dst []float64, src []byte) int {
+	src = src[:8*len(dst)]
+	for k := 0; 8*k < len(src); k++ {
+		dst[k] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*k:]))
+	}
+	return 8 * len(dst)
 }
 
 func takeU32(buf []byte) (uint32, []byte, error) {

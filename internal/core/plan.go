@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"toc/internal/matrix"
+)
+
+// KernelPlan caches the decode tree C' of one Batch so the 2-3 kernel
+// calls a gradient step makes on the same mini-batch — the A·v or A·M
+// forward pass plus the v·A or M·A gradient aggregation — share a single
+// O(|I|+|D|) build instead of paying it per operation. The paper's cost
+// model charges every kernel a rebuild of C'; a plan amortizes that
+// charge across the step without changing any result: every plan method
+// honors the parallel-kernel contract and returns bits identical to the
+// corresponding Batch method for any workers value.
+//
+// The cached tree is read-only after construction and accumulators come
+// from the shared scratch pool per call, so one plan is safe for
+// concurrent use by multiple goroutines. A plan is tied to the batch it
+// was built from; batches are immutable (Scale returns a new Batch), so
+// it never goes stale.
+type KernelPlan struct {
+	b    *Batch
+	tree *DecodeTree // nil for SparseOnly, which has no logical layer
+}
+
+// NewKernelPlan builds the batch's decode tree once and returns a plan
+// sharing it across kernel calls. TreeBuilds exposes the white-box build
+// counter that proves the amortization.
+func (b *Batch) NewKernelPlan() *KernelPlan {
+	p := &KernelPlan{b: b}
+	if b.variant != SparseOnly {
+		p.tree = BuildPrefixTree(b.i, b.d)
+	}
+	return p
+}
+
+// Batch returns the batch the plan was built for.
+func (p *KernelPlan) Batch() *Batch { return p.b }
+
+// MulVec computes A·v with the cached tree; workers > 1 shards the D scan
+// over result rows, workers <= 1 runs sequentially. Bitwise identical to
+// Batch.MulVec either way.
+func (p *KernelPlan) MulVec(v []float64, workers int) []float64 {
+	b := p.b
+	if len(v) != b.cols {
+		panic(fmt.Sprintf("core: KernelPlan.MulVec dim mismatch %d != %d", len(v), b.cols))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	workers = rightWorkers(workers, b.rows)
+	if b.variant == SparseOnly {
+		return b.mulVecSparsePar(v, workers)
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	return b.mulVecTree(p.tree, sc, v, workers)
+}
+
+// MulMat computes A·M with the cached tree; workers > 1 shards the H scan
+// over result columns and the D scan over result rows, workers <= 1 runs
+// sequentially. Bitwise identical to Batch.MulMat either way.
+func (p *KernelPlan) MulMat(m *matrix.Dense, workers int) *matrix.Dense {
+	b := p.b
+	if m.Rows() != b.cols {
+		panic(fmt.Sprintf("core: KernelPlan.MulMat dim mismatch %d != %d", m.Rows(), b.cols))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	workers = rightWorkers(workers, b.rows)
+	if b.variant == SparseOnly {
+		return b.mulMatSparsePar(m, workers)
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	return b.mulMatTree(p.tree, sc, m, workers)
+}
+
+// VecMul computes v·A with the cached tree; workers > 1 uses the
+// accumulator-sharded kernel, workers <= 1 the sequential one. Bitwise
+// identical to Batch.VecMul either way.
+func (p *KernelPlan) VecMul(v []float64, workers int) []float64 {
+	b := p.b
+	if len(v) != b.rows {
+		panic(fmt.Sprintf("core: KernelPlan.VecMul dim mismatch %d != %d", len(v), b.rows))
+	}
+	if b.variant == SparseOnly {
+		if workers > 1 {
+			return b.vecMulSparseParallel(v, workers)
+		}
+		return b.vecMulSparseSeq(v)
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	if workers > 1 && b.rows >= 2*workers {
+		return b.vecMulTreePar(p.tree, sc, v, workers)
+	}
+	return b.vecMulTree(p.tree, sc, v)
+}
+
+// MatMul computes M·A with the cached tree; workers > 1 shards the p
+// dimension, workers <= 1 runs sequentially. Bitwise identical to
+// Batch.MatMul either way.
+func (p *KernelPlan) MatMul(m *matrix.Dense, workers int) *matrix.Dense {
+	b := p.b
+	if m.Cols() != b.rows {
+		panic(fmt.Sprintf("core: KernelPlan.MatMul dim mismatch %d != %d", m.Cols(), b.rows))
+	}
+	if workers > m.Rows() {
+		workers = m.Rows()
+	}
+	if b.variant == SparseOnly {
+		r := matrix.NewDense(m.Rows(), b.cols)
+		if workers > 1 {
+			forEachSpan(m.Rows(), workers, func(klo, khi int) { b.matMulSparseRange(m, r, klo, khi) })
+		} else {
+			b.matMulSparseRange(m, r, 0, m.Rows())
+		}
+		return r
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	if workers > 1 {
+		return b.matMulTreePar(p.tree, sc, m, workers)
+	}
+	return b.matMulTree(p.tree, sc, m)
+}

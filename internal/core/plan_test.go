@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"toc/internal/matrix"
+)
+
+// A plan call must be bitwise identical to the corresponding Batch method
+// for every variant and every worker count — the contract that lets the
+// ml layer thread one plan through a step's kernels without changing any
+// trajectory.
+func TestKernelPlanMatchesBatchKernels(t *testing.T) {
+	workerCounts := []int{0, 1, 2, 7, 16}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(400 + seed))
+		rows := 8 + rng.Intn(100)
+		cols := 2 + rng.Intn(30)
+		for name, b := range rightMulBatches(rng, rows, cols) {
+			plan := b.NewKernelPlan()
+			vr := randVec(rng, cols)
+			vl := randVec(rng, rows)
+			mr := matrix.NewDense(cols, 5)
+			fillRand(rng, mr)
+			ml := matrix.NewDense(5, rows)
+			fillRand(rng, ml)
+			wantMulVec := b.MulVec(vr)
+			wantVecMul := b.VecMul(vl)
+			wantMulMat := b.MulMat(mr)
+			wantMatMul := b.MatMul(ml)
+			for _, w := range workerCounts {
+				if !bitsEqual(plan.MulVec(vr, w), wantMulVec) {
+					t.Fatalf("seed %d %s workers=%d: plan MulVec differs", seed, name, w)
+				}
+				if !bitsEqual(plan.VecMul(vl, w), wantVecMul) {
+					t.Fatalf("seed %d %s workers=%d: plan VecMul differs", seed, name, w)
+				}
+				if !bitsEqual(plan.MulMat(mr, w).Data(), wantMulMat.Data()) {
+					t.Fatalf("seed %d %s workers=%d: plan MulMat differs", seed, name, w)
+				}
+				if !bitsEqual(plan.MatMul(ml, w).Data(), wantMatMul.Data()) {
+					t.Fatalf("seed %d %s workers=%d: plan MatMul differs", seed, name, w)
+				}
+			}
+		}
+	}
+}
+
+// One plan hammered from many goroutines (each mixing all four kernels
+// and worker counts) must keep returning bitwise-correct results: the
+// cached tree is read-only and accumulators are pooled per call. CI runs
+// this under -race at GOMAXPROCS=2, where shard interleavings are
+// nastiest.
+func TestKernelPlanConcurrentReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for name, b := range rightMulBatches(rng, 120, 24) {
+		plan := b.NewKernelPlan()
+		vr := randVec(rng, 24)
+		vl := randVec(rng, 120)
+		mr := matrix.NewDense(24, 6)
+		fillRand(rng, mr)
+		ml := matrix.NewDense(6, 120)
+		fillRand(rng, ml)
+		wantMulVec := b.MulVec(vr)
+		wantVecMul := b.VecMul(vl)
+		wantMulMat := b.MulMat(mr)
+		wantMatMul := b.MatMul(ml)
+
+		const goroutines, iters = 8, 20
+		errs := make(chan string, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for it := 0; it < iters; it++ {
+					w := (g + it) % 5 // 0..4 workers, mixed per call
+					if !bitsEqual(plan.MulVec(vr, w), wantMulVec) {
+						errs <- name + ": concurrent plan MulVec diverged"
+						return
+					}
+					if !bitsEqual(plan.VecMul(vl, w), wantVecMul) {
+						errs <- name + ": concurrent plan VecMul diverged"
+						return
+					}
+					if !bitsEqual(plan.MulMat(mr, w).Data(), wantMulMat.Data()) {
+						errs <- name + ": concurrent plan MulMat diverged"
+						return
+					}
+					if !bitsEqual(plan.MatMul(ml, w).Data(), wantMatMul.Data()) {
+						errs <- name + ": concurrent plan MatMul diverged"
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+}
+
+// The white-box build counter: constructing a plan costs exactly one C'
+// build for the logical variants (zero for SparseOnly, which has no
+// tree), and kernel calls through the plan cost zero more — while the
+// plain Batch kernels pay one build per call.
+func TestKernelPlanBuildCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := redundantMatrix(rng, 60, 12, 0.5, 4)
+	v := randVec(rng, 12)
+	u := randVec(rng, 60)
+
+	b := Compress(a)
+	before := TreeBuilds()
+	plan := b.NewKernelPlan()
+	if got := TreeBuilds() - before; got != 1 {
+		t.Fatalf("NewKernelPlan: %d tree builds, want 1", got)
+	}
+	before = TreeBuilds()
+	plan.MulVec(v, 1)
+	plan.VecMul(u, 4)
+	plan.MulMat(matrix.NewDense(12, 3), 2)
+	plan.MatMul(matrix.NewDense(3, 60), 2)
+	if got := TreeBuilds() - before; got != 0 {
+		t.Fatalf("plan kernel calls: %d tree builds, want 0", got)
+	}
+	before = TreeBuilds()
+	b.MulVec(v)
+	b.VecMul(u)
+	if got := TreeBuilds() - before; got != 2 {
+		t.Fatalf("plain kernel calls: %d tree builds, want 2 (one per op)", got)
+	}
+
+	sp := CompressVariant(a, SparseOnly)
+	before = TreeBuilds()
+	spPlan := sp.NewKernelPlan()
+	spPlan.MulVec(v, 2)
+	if got := TreeBuilds() - before; got != 0 {
+		t.Fatalf("SparseOnly plan: %d tree builds, want 0", got)
+	}
+}
+
+func TestKernelPlanDimMismatchPanics(t *testing.T) {
+	plan := Compress(matrix.NewDense(30, 4)).NewKernelPlan()
+	for name, call := range map[string]func(){
+		"MulVec": func() { plan.MulVec(make([]float64, 3), 2) },
+		"VecMul": func() { plan.VecMul(make([]float64, 3), 2) },
+		"MulMat": func() { plan.MulMat(matrix.NewDense(3, 2), 2) },
+		"MatMul": func() { plan.MatMul(matrix.NewDense(2, 3), 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// BenchmarkKernelPlanStep measures one model step's kernel pair (A·v
+// forward + v·A backward) with and without a shared plan — the per-step
+// decode-tree amortization the plan exists for.
+func BenchmarkKernelPlanStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	batch := Compress(redundantMatrix(rng, 2000, 120, 0.6, 5))
+	v := randVec(rng, 120)
+	u := randVec(rng, 2000)
+	b.Run("per-op-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MulVec(v)
+			batch.VecMul(u)
+		}
+	})
+	b.Run("shared-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan := batch.NewKernelPlan()
+			plan.MulVec(v, 1)
+			plan.VecMul(u, 1)
+		}
+	})
+}

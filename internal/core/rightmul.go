@@ -12,26 +12,34 @@ import (
 // F(x) = C'[x].seq · v by dynamic programming over parent links
 // (Equation 6), then D is scanned once to sum F over each tuple's codes
 // (Equation 5).
+//
+// The kernels are split into tree-parameterized bodies so three callers
+// share them: the sequential methods here (which build C' per call, the
+// paper's cost model), the sharded drivers in rightmul_parallel.go, and
+// KernelPlan (plan.go), which builds C' once per batch-step and amortizes
+// it over every kernel call of that step.
 
 // MulVec computes A·v on the compressed batch.
 func (b *Batch) MulVec(v []float64) []float64 {
 	if len(v) != b.cols {
 		panic(fmt.Sprintf("core: MulVec dim mismatch %d != %d", len(v), b.cols))
 	}
-	r := make([]float64, b.rows)
 	if b.variant == SparseOnly {
-		for i := 0; i < b.rows; i++ {
-			var s float64
-			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-				s += b.srVals[k] * v[b.srCols[k]]
-			}
-			r[i] = s
-		}
+		r := make([]float64, b.rows)
+		b.mulVecSparseRows(v, r, 0, b.rows)
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
+	return b.mulVecTree(t, sc, v, 1)
+}
+
+// mulVecTree is A·v over an already-built decode tree. The scalar H scan
+// stays sequential for any worker count (each H[i] chains on its parent,
+// and |C'| ≪ |D|·avg-codes keeps it off the critical path); the D scan
+// shards over result rows when workers > 1.
+func (b *Batch) mulVecTree(t *DecodeTree, sc *opScratch, v []float64, workers int) []float64 {
 	// Scan C' to compute H[i] = F(i) = C'[i].key·v + H[parent(i)]; parents
 	// precede children, so one forward pass suffices.
 	h := sc.floatBuf(t.Len())
@@ -39,15 +47,37 @@ func (b *Batch) MulVec(v []float64) []float64 {
 		k := t.Key[i]
 		h[i] = k.Val*v[k.Col] + h[t.Parent[i]]
 	}
-	// Scan D to accumulate R[i] = Σ_j H[D[i][j]].
-	for i := 0; i < b.rows; i++ {
+	r := make([]float64, b.rows)
+	if workers > 1 {
+		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulVecRows(h, r, lo, hi) })
+	} else {
+		b.mulVecRows(h, r, 0, b.rows)
+	}
+	return r
+}
+
+// mulVecRows scans D for result rows [lo,hi): R[i] = Σ_j H[D[i][j]]. Each
+// output row is an independent sequential reduction, so disjoint row
+// ranges compute bitwise-identical results concurrently.
+func (b *Batch) mulVecRows(h, r []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for _, n := range b.d.row(i) {
 			s += h[n]
 		}
 		r[i] = s
 	}
-	return r
+}
+
+// mulVecSparseRows is the SparseOnly A·v for result rows [lo,hi).
+func (b *Batch) mulVecSparseRows(v, r []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+			s += b.srVals[k] * v[b.srCols[k]]
+		}
+		r[i] = s
+	}
 }
 
 // MulMat computes A·M on the compressed batch, where M is cols × p.
@@ -55,38 +85,64 @@ func (b *Batch) MulMat(m *matrix.Dense) *matrix.Dense {
 	if m.Rows() != b.cols {
 		panic(fmt.Sprintf("core: MulMat dim mismatch %d != %d", m.Rows(), b.cols))
 	}
-	p := m.Cols()
-	r := matrix.NewDense(b.rows, p)
 	if b.variant == SparseOnly {
-		for i := 0; i < b.rows; i++ {
-			ri := r.Row(i)
-			for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-				val := b.srVals[k]
-				mrow := m.Row(int(b.srCols[k]))
-				for j, mv := range mrow {
-					ri[j] += val * mv
-				}
-			}
-		}
+		r := matrix.NewDense(b.rows, m.Cols())
+		b.mulMatSparseRows(m, r, 0, b.rows)
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	// Scan C': H[i,:] = key.val * M[key.col,:] + H[parent,:].
+	return b.mulMatTree(t, sc, m, 1)
+}
+
+// mulMatTree is A·M over an already-built decode tree. With workers > 1
+// the forward H scan shards over the p result columns and the D scan over
+// result rows (see rightmul_parallel.go for why both are bitwise-exact).
+func (b *Batch) mulMatTree(t *DecodeTree, sc *opScratch, m *matrix.Dense, workers int) *matrix.Dense {
+	p := m.Cols()
 	h := sc.floatBuf(t.Len() * p)
+	cw := workers
+	if cw > p {
+		cw = p
+	}
+	if cw > 1 {
+		forEachSpan(p, cw, func(clo, chi int) { b.mulMatForwardCols(t, m, h, p, clo, chi) })
+	} else {
+		b.mulMatForwardCols(t, m, h, p, 0, p)
+	}
+	r := matrix.NewDense(b.rows, p)
+	if workers > 1 {
+		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulMatRows(h, r, p, lo, hi) })
+	} else {
+		b.mulMatRows(h, r, p, 0, b.rows)
+	}
+	return r
+}
+
+// mulMatForwardCols runs the C' forward scan for result columns
+// [clo,chi): H[i,j] = key.Val·M[key.Col,j] + H[parent,j]. Column j of
+// every H row depends only on column j of its parent row, so each
+// column's parent-chain DP is an independent sequential recurrence —
+// disjoint column ranges run concurrently with every per-element fold in
+// exactly the sequential order.
+func (b *Batch) mulMatForwardCols(t *DecodeTree, m *matrix.Dense, h []float64, p, clo, chi int) {
 	for i := 1; i < t.Len(); i++ {
 		k := t.Key[i]
 		mrow := m.Row(int(k.Col))
 		hi := h[i*p : i*p+p]
 		hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
-		for j := range hi {
+		for j := clo; j < chi; j++ {
 			hi[j] = k.Val*mrow[j] + hp[j]
 		}
 	}
-	// Scan D once; the loop over result columns is innermost for cache
-	// friendliness, as the paper notes for Algorithm 7.
-	for i := 0; i < b.rows; i++ {
+}
+
+// mulMatRows scans D for result rows [lo,hi); the loop over result
+// columns is innermost for cache friendliness, as the paper notes for
+// Algorithm 7. Each output row depends on one tuple of D only.
+func (b *Batch) mulMatRows(h []float64, r *matrix.Dense, p, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ri := r.Row(i)
 		for _, n := range b.d.row(i) {
 			hn := h[int(n)*p : int(n)*p+p]
@@ -95,5 +151,18 @@ func (b *Batch) MulMat(m *matrix.Dense) *matrix.Dense {
 			}
 		}
 	}
-	return r
+}
+
+// mulMatSparseRows is the SparseOnly A·M for result rows [lo,hi).
+func (b *Batch) mulMatSparseRows(m *matrix.Dense, r *matrix.Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ri := r.Row(i)
+		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
+			val := b.srVals[k]
+			mrow := m.Row(int(b.srCols[k]))
+			for j, mv := range mrow {
+				ri[j] += val * mv
+			}
+		}
+	}
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"toc/internal/matrix"
+)
+
+// Parallel right multiplications: A·v (Algorithm 4) and A·M (Algorithm 7)
+// sharded across goroutines — the forward pass of every model, completing
+// the kernel-parallelism story the left multiplications started in
+// leftmul_parallel.go.
+//
+// Right multiplications are the easy direction: every output row depends
+// on exactly one tuple of D, so the D scan shards over disjoint result-row
+// ranges and each row's reduction folds in the sequential order untouched.
+// The H table adds one subtlety per kernel:
+//
+//   - MulVecParallel keeps its scalar H scan sequential. Each H[i] chains
+//     on H[parent(i)], and |C'| ≪ |D|·avg-codes, so Amdahl says the chain
+//     is not worth breaking.
+//   - MulMatParallel shards the H scan over the p result columns: column
+//     j of every H row depends only on column j of its parent row, so each
+//     column's parent-chain DP is an independent sequential recurrence.
+//
+// Both kernels therefore return results bitwise identical to MulVec and
+// MulMat for any worker count (asserted by TestRightMulParallel*), which
+// is what lets the engine flip between them freely without ever changing
+// a training trajectory. SparseOnly batches shard over rows the same way.
+
+// rightWorkers normalizes a requested worker count against the row count:
+// <= 0 picks GOMAXPROCS, and a shard is only worth a goroutine with at
+// least two rows to scan.
+func rightWorkers(workers, rows int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (rows + 1) / 2; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachSpan splits [0,n) into equal-width spans and runs fn on each
+// concurrently, waiting for all of them.
+func forEachSpan(n, workers int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	span := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*span, (w+1)*span
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// forEachRowShard is forEachSpan over result rows.
+func forEachRowShard(rows, workers int, fn func(lo, hi int)) {
+	forEachSpan(rows, workers, fn)
+}
+
+// MulVecParallel computes A·v like MulVec with the D scan sharded over
+// disjoint result-row ranges (workers <= 0 uses GOMAXPROCS). The result
+// is bitwise identical to MulVec for any worker count.
+func (b *Batch) MulVecParallel(v []float64, workers int) []float64 {
+	if len(v) != b.cols {
+		panic(fmt.Sprintf("core: MulVecParallel dim mismatch %d != %d", len(v), b.cols))
+	}
+	workers = rightWorkers(workers, b.rows)
+	if b.variant == SparseOnly {
+		return b.mulVecSparsePar(v, workers)
+	}
+	if workers == 1 {
+		return b.MulVec(v)
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	return b.mulVecTree(t, sc, v, workers)
+}
+
+// mulVecSparsePar is the SparseOnly A·v with rows sharded.
+func (b *Batch) mulVecSparsePar(v []float64, workers int) []float64 {
+	r := make([]float64, b.rows)
+	if workers > 1 {
+		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulVecSparseRows(v, r, lo, hi) })
+	} else {
+		b.mulVecSparseRows(v, r, 0, b.rows)
+	}
+	return r
+}
+
+// MulMatParallel computes A·M like MulMat with the C' forward scan
+// sharded over the p result columns and the D scan sharded over result
+// rows (workers <= 0 uses GOMAXPROCS). The result is bitwise identical to
+// MulMat for any worker count.
+func (b *Batch) MulMatParallel(m *matrix.Dense, workers int) *matrix.Dense {
+	if m.Rows() != b.cols {
+		panic(fmt.Sprintf("core: MulMatParallel dim mismatch %d != %d", m.Rows(), b.cols))
+	}
+	workers = rightWorkers(workers, b.rows)
+	if b.variant == SparseOnly {
+		return b.mulMatSparsePar(m, workers)
+	}
+	if workers == 1 {
+		return b.MulMat(m)
+	}
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	t := sc.buildTree(b.i, b.d)
+	return b.mulMatTree(t, sc, m, workers)
+}
+
+// mulMatSparsePar is the SparseOnly A·M with rows sharded.
+func (b *Batch) mulMatSparsePar(m *matrix.Dense, workers int) *matrix.Dense {
+	r := matrix.NewDense(b.rows, m.Cols())
+	if workers > 1 {
+		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulMatSparseRows(m, r, lo, hi) })
+	} else {
+		b.mulMatSparseRows(m, r, 0, b.rows)
+	}
+	return r
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"toc/internal/matrix"
+)
+
+// rightMulBatches builds the three variants the parallel right-mul
+// kernels must cover: a dense-ish Full batch, a sparse SparseLogical
+// batch, and a SparseOnly batch.
+func rightMulBatches(rng *rand.Rand, rows, cols int) map[string]*Batch {
+	dense := redundantMatrix(rng, rows, cols, 0.95, 4)
+	sparse := redundantMatrix(rng, rows, cols, 0.25, 5)
+	return map[string]*Batch{
+		"full":          Compress(dense),
+		"sparseLogical": CompressVariant(sparse, SparseLogical),
+		"sparseOnly":    CompressVariant(sparse, SparseOnly),
+	}
+}
+
+// MulVecParallel must be bitwise identical to MulVec for every worker
+// count — each output row is an independent sequential reduction, so
+// sharding rows can never reorder a float fold.
+func TestRightMulParallelMulVecBitwiseIdentical(t *testing.T) {
+	workerCounts := []int{1, 2, 7, 16}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		rows := 8 + rng.Intn(120)
+		cols := 1 + rng.Intn(40)
+		for name, b := range rightMulBatches(rng, rows, cols) {
+			v := randVec(rng, cols)
+			want := b.MulVec(v)
+			for _, w := range workerCounts {
+				got := b.MulVecParallel(v, w)
+				if !bitsEqual(got, want) {
+					t.Fatalf("seed %d %s workers=%d: MulVecParallel differs from MulVec", seed, name, w)
+				}
+			}
+		}
+	}
+}
+
+// MulMatParallel must be bitwise identical to MulMat for every worker
+// count and every p (columns of M), including p smaller than the worker
+// count: the forward H scan shards over result columns (each column's
+// parent-chain DP is independent) and the D scan over result rows.
+func TestRightMulParallelMulMatBitwiseIdentical(t *testing.T) {
+	workerCounts := []int{1, 2, 7, 16}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		rows := 8 + rng.Intn(80)
+		cols := 1 + rng.Intn(30)
+		for name, b := range rightMulBatches(rng, rows, cols) {
+			for _, p := range []int{1, 3, 8, 21} {
+				m := matrix.NewDense(cols, p)
+				fillRand(rng, m)
+				want := b.MulMat(m)
+				for _, w := range workerCounts {
+					got := b.MulMatParallel(m, w)
+					if !bitsEqual(got.Data(), want.Data()) {
+						t.Fatalf("seed %d %s p=%d workers=%d: MulMatParallel differs from MulMat",
+							seed, name, p, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Tiny batches and workers <= 0 (GOMAXPROCS) must take the fallback and
+// normalization paths without diverging.
+func TestRightMulParallelEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tiny := Compress(redundantMatrix(rng, 3, 5, 0.6, 3))
+	v := randVec(rng, 5)
+	if !bitsEqual(tiny.MulVecParallel(v, 8), tiny.MulVec(v)) {
+		t.Fatal("tiny batch fallback diverges")
+	}
+	if !bitsEqual(tiny.MulVecParallel(v, 0), tiny.MulVec(v)) {
+		t.Fatal("workers=0 (GOMAXPROCS) diverges")
+	}
+	sp := CompressVariant(redundantMatrix(rng, 40, 12, 0.4, 3), SparseOnly)
+	m := matrix.NewDense(12, 1)
+	fillRand(rng, m)
+	if !bitsEqual(sp.MulMatParallel(m, 7).Data(), sp.MulMat(m).Data()) {
+		t.Fatal("p=1 SparseOnly MulMat diverges")
+	}
+}
+
+func TestRightMulParallelDimMismatchPanics(t *testing.T) {
+	b := Compress(matrix.NewDense(30, 4))
+	for name, call := range map[string]func(){
+		"MulVecParallel": func() { b.MulVecParallel(make([]float64, 3), 4) },
+		"MulMatParallel": func() { b.MulMatParallel(matrix.NewDense(3, 2), 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// BenchmarkRightMulParallel compares the sequential and sharded right-mul
+// kernels on a batch large enough for the sharding to matter.
+func BenchmarkRightMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := redundantMatrix(rng, 4000, 100, 0.55, 5)
+	batch := Compress(a)
+	v := randVec(rng, 100)
+	m := matrix.NewDense(100, 24)
+	fillRand(rng, m)
+	b.Run("MulVec-seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MulVec(v)
+		}
+	})
+	b.Run("MulVec-par", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MulVecParallel(v, 0)
+		}
+	})
+	b.Run("MulMat-seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MulMat(m)
+		}
+	})
+	b.Run("MulMat-par", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.MulMatParallel(m, 0)
+		}
+	})
+}

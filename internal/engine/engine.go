@@ -14,10 +14,14 @@
 // worker count: workers=8 walks exactly the loss curve of workers=1.
 //
 // Workers left over after the group's slots are claimed shard the kernels
-// *inside* each gradient (core's parallel left/right multiplications,
-// themselves bitwise identical to the sequential kernels), so a
+// *inside* each gradient — both multiplication directions: the row- and
+// column-sharded right multiplications A·v/A·M (the forward pass) and the
+// accumulator-sharded left multiplications v·A/M·A (gradient
+// aggregation), all bitwise identical to the sequential kernels — so a
 // GroupSize-1 configuration still uses the whole pool without giving up
-// the serial trajectory.
+// the serial trajectory. Within each gradient the ml layer additionally
+// threads one core.KernelPlan through the step's kernels, so the decode
+// tree C' is built once per (batch, Grad) instead of once per operation.
 package engine
 
 import (
@@ -165,8 +169,9 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 	}
 	// Split the pool between batch-level and kernel-level parallelism: the
 	// group's in-flight gradients claim workers first, and any leftover
-	// goroutines shard the kernels inside each gradient (workers=8 with
-	// group=1 puts all eight into the left/right multiplications). The
+	// goroutines shard the kernels inside each gradient — both the
+	// forward right multiplications and the backward left multiplications
+	// (workers=8 with group=1 puts all eight into every kernel call). The
 	// parallel kernels are bitwise identical to the sequential ones, so
 	// this split never changes the trajectory, only the wall-clock. (The
 	// left-mul kernels replicate their read scan across shards to keep

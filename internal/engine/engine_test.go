@@ -413,3 +413,30 @@ func TestFillStoreMatchesSerialAdd(t *testing.T) {
 		}
 	}
 }
+
+// Parallel right-mul kernels + per-Grad plan reuse must leave the
+// trajectory untouched: Workers=8/GroupSize=1 routes all eight goroutines
+// into each gradient's kernels (the A·v/A·M forward now sharded, the
+// decode tree built once per Grad through the shared plan), and the loss
+// sequence must still equal serial ml.Train bit for bit.
+func TestEngineRightMulPlanTrajectoryIdentity(t *testing.T) {
+	for _, name := range []string{"lr", "nn"} {
+		d, src := testSource(t, "mnist", 500)
+		serial := newModel(t, name, d, 13)
+		resS := ml.Train(serial, src, 3, 0.2, nil)
+
+		eng := New(Config{Workers: 8, GroupSize: 1})
+		parallel := newModel(t, name, d, 13)
+		resP := eng.Train(parallel, src, 3, 0.2, nil)
+
+		for e := range resS.EpochLoss {
+			if math.Float64bits(resS.EpochLoss[e]) != math.Float64bits(resP.EpochLoss[e]) {
+				t.Errorf("%s: epoch %d loss %v != serial %v (want bitwise identity)",
+					name, e, resP.EpochLoss[e], resS.EpochLoss[e])
+			}
+		}
+		if diff := maxAbsDiff(flatParams(t, serial), flatParams(t, parallel)); diff != 0 {
+			t.Errorf("%s: weights diverge from serial by %g (want bitwise identity)", name, diff)
+		}
+	}
+}

@@ -55,12 +55,36 @@ type ParallelOps interface {
 	CompressedMatrix
 	// MulVecParallel computes A·v with the row scan sharded.
 	MulVecParallel(v []float64, workers int) []float64
-	// MulMatParallel computes A·M with the row scan sharded.
+	// MulMatParallel computes A·M with the H scan sharded over result
+	// columns and the row scan sharded over result rows.
 	MulMatParallel(m *matrix.Dense, workers int) *matrix.Dense
 	// VecMulParallel computes v·A with the accumulator space sharded.
 	VecMulParallel(v []float64, workers int) []float64
 	// MatMulParallel computes M·A with the p dimension sharded.
 	MatMulParallel(m *matrix.Dense, workers int) *matrix.Dense
+	// NewKernelPlan returns a plan caching the per-batch decode state
+	// (TOC's decode tree C') so the 2-3 kernel calls a gradient step makes
+	// on one mini-batch share a single build instead of paying the per-op
+	// rebuild. The plan is tied to this batch and safe for concurrent use.
+	NewKernelPlan() KernelPlan
+}
+
+// KernelPlan is the per-batch kernel plan of ParallelOps.NewKernelPlan.
+// Each method takes the worker count directly — workers <= 1 runs the
+// sequential kernel body — and inherits the strict parallel contract:
+// for any workers value the result is bitwise identical to the
+// corresponding CompressedMatrix method, so callers may thread a plan
+// through a step's forward and backward multiplications without ever
+// changing a training trajectory.
+type KernelPlan interface {
+	// MulVec computes A·v on the planned batch.
+	MulVec(v []float64, workers int) []float64
+	// MulMat computes A·M on the planned batch.
+	MulMat(m *matrix.Dense, workers int) *matrix.Dense
+	// VecMul computes v·A on the planned batch.
+	VecMul(v []float64, workers int) []float64
+	// MatMul computes M·A on the planned batch.
+	MatMul(m *matrix.Dense, workers int) *matrix.Dense
 }
 
 // Encoder compresses a dense mini-batch with one scheme.

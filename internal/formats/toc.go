@@ -38,6 +38,11 @@ func init() {
 // Scale computes A.*c via Algorithm 3, adapting the concrete return type.
 func (t TOC) Scale(c float64) CompressedMatrix { return TOC{t.Batch.Scale(c)} }
 
+// NewKernelPlan builds the batch's decode tree C' once and returns the
+// plan sharing it across kernel calls, adapting the concrete return type.
+func (t TOC) NewKernelPlan() KernelPlan { return t.Batch.NewKernelPlan() }
+
 // TOC's kernels shard across goroutines with bitwise-identical results
-// (core's *Parallel methods promote through the embedded Batch).
+// (core's *Parallel methods promote through the embedded Batch), and its
+// per-batch plans amortize the decode-tree build across a step's kernels.
 var _ ParallelOps = TOC{}

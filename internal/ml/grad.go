@@ -46,11 +46,13 @@ func stepBuf(buf *[]float64, np int) []float64 {
 // [dW..., dB] gradient into out and returning the mean loss. residual maps
 // (score+bias, label) to (loss contribution, residual numerator). Both
 // multiplications shard across workers goroutines when the encoding
-// supports it; the gradient is bitwise independent of the worker count.
-func linGrad(x formats.CompressedMatrix, y, w []float64, bias, l2 float64, workers int,
-	out []float64, residual func(z, yi float64) (loss, r float64)) float64 {
+// supports it and share the caller's kernel plan (one decode-tree build
+// for the forward and backward passes); the gradient is bitwise
+// independent of both the worker count and the plan.
+func linGrad(x formats.CompressedMatrix, plan formats.KernelPlan, y, w []float64, bias, l2 float64,
+	workers int, out []float64, residual func(z, yi float64) (loss, r float64)) float64 {
 	n := float64(x.Rows())
-	s := mulVec(x, w, workers)
+	s := mulVec(x, plan, w, workers)
 	var loss, rsum float64
 	r := make([]float64, len(s))
 	for i := range s {
@@ -61,7 +63,7 @@ func linGrad(x formats.CompressedMatrix, y, w []float64, bias, l2 float64, worke
 			rsum += r[i]
 		}
 	}
-	g := vecMul(x, r, workers)
+	g := vecMul(x, plan, r, workers)
 	for j := range g {
 		out[j] = g[j] + l2*w[j]
 	}
@@ -77,12 +79,23 @@ func applyLinGrad(w []float64, b *float64, g []float64, lr float64) {
 	*b -= lr * g[len(w)]
 }
 
+// planGrad lets a wrapper model (one-vs-rest) thread one shared kernel
+// plan through every per-class gradient it computes on the same batch, so
+// a whole multi-class Grad costs a single decode-tree build.
+type planGrad interface {
+	gradPlan(x formats.CompressedMatrix, plan formats.KernelPlan, y, out []float64) float64
+}
+
 // NumParams returns len(W)+1 (weights plus bias).
 func (m *LinReg) NumParams() int { return len(m.W) + 1 }
 
 // Grad writes the flat [dW..., dB] squared-loss gradient of Equation 3.
 func (m *LinReg) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
-	return linGrad(x, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
+	return m.gradPlan(x, planFor(x), y, out)
+}
+
+func (m *LinReg) gradPlan(x formats.CompressedMatrix, plan formats.KernelPlan, y, out []float64) float64 {
+	return linGrad(x, plan, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
 		d := z - yi
 		return 0.5 * d * d, d
 	})
@@ -96,7 +109,11 @@ func (m *LogReg) NumParams() int { return len(m.W) + 1 }
 
 // Grad writes the flat [dW..., dB] logistic gradient (σ(Ah) − y)ᵀA.
 func (m *LogReg) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
-	return linGrad(x, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
+	return m.gradPlan(x, planFor(x), y, out)
+}
+
+func (m *LogReg) gradPlan(x formats.CompressedMatrix, plan formats.KernelPlan, y, out []float64) float64 {
+	return linGrad(x, plan, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
 		p := sigmoid(z)
 		pc := clampProb(p)
 		return -(yi*math.Log(pc) + (1-yi)*math.Log(1-pc)), p - yi
@@ -112,7 +129,11 @@ func (m *SVM) NumParams() int { return len(m.W) + 1 }
 // Grad writes the flat [dW..., dB] hinge subgradient: rows inside the
 // margin contribute −y·x.
 func (m *SVM) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
-	return linGrad(x, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
+	return m.gradPlan(x, planFor(x), y, out)
+}
+
+func (m *SVM) gradPlan(x formats.CompressedMatrix, plan formats.KernelPlan, y, out []float64) float64 {
+	return linGrad(x, plan, y, m.W, m.B, m.L2, m.Workers, out, func(z, yi float64) (float64, float64) {
 		s := 2*yi - 1 // {0,1} -> {-1,+1}
 		if margin := s * z; margin < 1 {
 			return 1 - margin, -s
@@ -148,8 +169,11 @@ func (o *OneVsRest) NumParams() int {
 }
 
 // Grad concatenates the per-class gradients on rest-relabelled copies of
-// the batch, returning the mean per-class loss.
+// the batch, returning the mean per-class loss. One kernel plan is shared
+// across every per-class gradient, so the whole multi-class Grad builds
+// the batch's decode tree once instead of once per class and direction.
 func (o *OneVsRest) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
+	plan := planFor(x)
 	yc := make([]float64, len(y))
 	var total float64
 	off := 0
@@ -162,7 +186,11 @@ func (o *OneVsRest) Grad(x formats.CompressedMatrix, y []float64, out []float64)
 			}
 		}
 		np := gm.NumParams()
-		total += gm.Grad(x, yc, out[off:off+np])
+		if pg, ok := gm.(planGrad); ok {
+			total += pg.gradPlan(x, plan, yc, out[off:off+np])
+		} else {
+			total += gm.Grad(x, yc, out[off:off+np])
+		}
 		off += np
 	}
 	return total / float64(len(o.Models))
@@ -190,12 +218,15 @@ func (n *NN) NumParams() int {
 // Grad runs one forward/backward pass without updating, writing the flat
 // gradient laid out layer by layer as [dW0..., dB0..., dW1..., dB1...,
 // ...] (dW row-major). The backward pass reads each W[l] before ApplyGrad
-// would mutate it, so Grad-then-ApplyGrad reproduces Step exactly.
+// would mutate it, so Grad-then-ApplyGrad reproduces Step exactly. One
+// kernel plan spans the input layer's forward A·M and backward M·A, so
+// the step builds the batch's decode tree once.
 func (n *NN) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
 	if x.Rows() != len(y) {
 		panic(fmt.Sprintf("ml: NN batch %d rows but %d labels", x.Rows(), len(y)))
 	}
-	acts := n.forward(x)
+	plan := planFor(x)
+	acts := n.forward(x, plan)
 	outAct := acts[len(acts)-1]
 	target := n.oneHot(y)
 	loss := n.crossEntropy(outAct, target)
@@ -217,7 +248,7 @@ func (n *NN) Grad(x formats.CompressedMatrix, y []float64, out []float64) float6
 		var dW *matrix.Dense
 		if l == 0 {
 			// dW0 = Aᵀ·delta = (deltaᵀ·A)ᵀ — M·A on the compressed input.
-			dW = matMul(x, delta.Transpose(), n.Workers).Transpose()
+			dW = matMul(x, plan, delta.Transpose(), n.Workers).Transpose()
 		} else {
 			dW = acts[l-1].Transpose().MulMat(delta)
 		}

@@ -12,6 +12,13 @@ import (
 // kernels are bitwise identical to the sequential ones, so the knob
 // changes wall-clock only — a trajectory computed at Workers=8 matches
 // Workers=1 exactly.
+//
+// When the encoding supports per-batch kernel plans, each helper also
+// takes the step's shared plan: the 2-3 multiplications a gradient makes
+// on one batch (the A·v/A·M forward and the v·A/M·A aggregation) then
+// share a single decode-tree build instead of paying the O(|I|+|D|)
+// rebuild per operation. planFor builds one per (batch, call);
+// core.TreeBuilds is the white-box counter proving the amortization.
 
 // KernelParallel is implemented by models whose compressed-kernel calls
 // can use multiple goroutines per gradient. Every model NewModel returns
@@ -22,7 +29,20 @@ type KernelParallel interface {
 	SetKernelWorkers(workers int)
 }
 
-func mulVec(x formats.CompressedMatrix, v []float64, workers int) []float64 {
+// planFor returns a shared per-batch kernel plan when the encoding
+// supports one, nil otherwise (the dispatchers then fall back to the
+// per-op interface methods).
+func planFor(x formats.CompressedMatrix) formats.KernelPlan {
+	if p, ok := x.(formats.ParallelOps); ok {
+		return p.NewKernelPlan()
+	}
+	return nil
+}
+
+func mulVec(x formats.CompressedMatrix, plan formats.KernelPlan, v []float64, workers int) []float64 {
+	if plan != nil {
+		return plan.MulVec(v, workers)
+	}
 	if workers > 1 {
 		if p, ok := x.(formats.ParallelOps); ok {
 			return p.MulVecParallel(v, workers)
@@ -31,7 +51,10 @@ func mulVec(x formats.CompressedMatrix, v []float64, workers int) []float64 {
 	return x.MulVec(v)
 }
 
-func vecMul(x formats.CompressedMatrix, v []float64, workers int) []float64 {
+func vecMul(x formats.CompressedMatrix, plan formats.KernelPlan, v []float64, workers int) []float64 {
+	if plan != nil {
+		return plan.VecMul(v, workers)
+	}
 	if workers > 1 {
 		if p, ok := x.(formats.ParallelOps); ok {
 			return p.VecMulParallel(v, workers)
@@ -40,7 +63,10 @@ func vecMul(x formats.CompressedMatrix, v []float64, workers int) []float64 {
 	return x.VecMul(v)
 }
 
-func mulMat(x formats.CompressedMatrix, m *matrix.Dense, workers int) *matrix.Dense {
+func mulMat(x formats.CompressedMatrix, plan formats.KernelPlan, m *matrix.Dense, workers int) *matrix.Dense {
+	if plan != nil {
+		return plan.MulMat(m, workers)
+	}
 	if workers > 1 {
 		if p, ok := x.(formats.ParallelOps); ok {
 			return p.MulMatParallel(m, workers)
@@ -49,7 +75,10 @@ func mulMat(x formats.CompressedMatrix, m *matrix.Dense, workers int) *matrix.De
 	return x.MulMat(m)
 }
 
-func matMul(x formats.CompressedMatrix, m *matrix.Dense, workers int) *matrix.Dense {
+func matMul(x formats.CompressedMatrix, plan formats.KernelPlan, m *matrix.Dense, workers int) *matrix.Dense {
+	if plan != nil {
+		return plan.MatMul(m, workers)
+	}
 	if workers > 1 {
 		if p, ok := x.(formats.ParallelOps); ok {
 			return p.MatMulParallel(m, workers)

@@ -42,7 +42,7 @@ func (m *LinReg) Step(x formats.CompressedMatrix, y []float64, lr float64) float
 
 // Loss evaluates mean squared loss.
 func (m *LinReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	p := mulVec(x, m.W, m.Workers)
+	p := mulVec(x, nil, m.W, m.Workers)
 	var loss float64
 	for i := range p {
 		d := p[i] + m.B - y[i]
@@ -53,7 +53,7 @@ func (m *LinReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
 
 // Predict returns the real-valued scores A·w + b.
 func (m *LinReg) Predict(x formats.CompressedMatrix) []float64 {
-	p := mulVec(x, m.W, m.Workers)
+	p := mulVec(x, nil, m.W, m.Workers)
 	for i := range p {
 		p[i] += m.B
 	}
@@ -88,7 +88,7 @@ func (m *LogReg) Step(x formats.CompressedMatrix, y []float64, lr float64) float
 
 // Loss evaluates mean logistic loss.
 func (m *LogReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	s := mulVec(x, m.W, m.Workers)
+	s := mulVec(x, nil, m.W, m.Workers)
 	var loss float64
 	for i := range s {
 		p := clampProb(sigmoid(s[i] + m.B))
@@ -99,7 +99,7 @@ func (m *LogReg) Loss(x formats.CompressedMatrix, y []float64) float64 {
 
 // Score returns the probability of class 1 per row (used by one-vs-rest).
 func (m *LogReg) Score(x formats.CompressedMatrix) []float64 {
-	s := mulVec(x, m.W, m.Workers)
+	s := mulVec(x, nil, m.W, m.Workers)
 	for i := range s {
 		s[i] = sigmoid(s[i] + m.B)
 	}
@@ -149,7 +149,7 @@ func (m *SVM) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 
 
 // Loss evaluates mean hinge loss.
 func (m *SVM) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	s := mulVec(x, m.W, m.Workers)
+	s := mulVec(x, nil, m.W, m.Workers)
 	var loss float64
 	for i := range s {
 		yi := 2*y[i] - 1
@@ -162,7 +162,7 @@ func (m *SVM) Loss(x formats.CompressedMatrix, y []float64) float64 {
 
 // Score returns the signed margins per row (used by one-vs-rest).
 func (m *SVM) Score(x formats.CompressedMatrix) []float64 {
-	s := mulVec(x, m.W, m.Workers)
+	s := mulVec(x, nil, m.W, m.Workers)
 	for i := range s {
 		s[i] += m.B
 	}

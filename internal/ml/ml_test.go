@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"toc/internal/core"
 	"toc/internal/data"
 	"toc/internal/formats"
 	"toc/internal/matrix"
@@ -343,6 +344,37 @@ func TestKernelWorkersGradBitwiseIdentical(t *testing.T) {
 						t.Fatalf("%s/%s workers=%d: gradient differs at %d", method, name, workers, i)
 					}
 				}
+			}
+		}
+	}
+}
+
+// The per-step KernelPlan amortization, proven white-box: one Grad call
+// on a TOC batch builds the decode tree C' exactly once — for every model
+// family, including one-vs-rest, whose 10 per-class gradients (20
+// compressed multiplications on mnist) historically paid 20 builds.
+func TestGradBuildsDecodeTreeOncePerBatch(t *testing.T) {
+	d, err := data.Generate("mnist", 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(6)
+	x, y := d.Batch(0, 150)
+	c := formats.MustGet("TOC")(x)
+	for _, name := range []string{"linreg", "lr", "svm", "nn"} {
+		for _, workers := range []int{1, 8} {
+			m, err := NewModel(name, x.Cols(), d.Classes, 0.2, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm := m.(GradModel)
+			m.(KernelParallel).SetKernelWorkers(workers)
+			g := make([]float64, gm.NumParams())
+			gm.Grad(c, y, g) // warm any lazy state
+			before := core.TreeBuilds()
+			gm.Grad(c, y, g)
+			if got := core.TreeBuilds() - before; got != 1 {
+				t.Errorf("%s workers=%d: Grad built C' %d times, want exactly 1", name, workers, got)
 			}
 		}
 	}

@@ -64,14 +64,16 @@ func NewNN(dims int, hidden []int, classes int, seed int64) *NN {
 
 // forward runs the network on a compressed batch, returning the
 // post-activation output of every layer (acts[0] is the first hidden
-// layer; the input stays compressed).
-func (n *NN) forward(x formats.CompressedMatrix) []*matrix.Dense {
+// layer; the input stays compressed). plan, when non-nil, carries the
+// step's shared kernel plan into the input-layer A·M so Grad's backward
+// M·A reuses the same decode-tree build.
+func (n *NN) forward(x formats.CompressedMatrix, plan formats.KernelPlan) []*matrix.Dense {
 	acts := make([]*matrix.Dense, len(n.W))
 	var h *matrix.Dense
 	for l := range n.W {
 		var z *matrix.Dense
 		if l == 0 {
-			z = mulMat(x, n.W[0], n.Workers) // A·M on the compressed input
+			z = mulMat(x, plan, n.W[0], n.Workers) // A·M on the compressed input
 		} else {
 			z = h.MulMat(n.W[l])
 		}
@@ -181,14 +183,14 @@ func (n *NN) crossEntropy(p, t *matrix.Dense) float64 {
 
 // Loss evaluates mean cross-entropy without updating.
 func (n *NN) Loss(x formats.CompressedMatrix, y []float64) float64 {
-	acts := n.forward(x)
+	acts := n.forward(x, nil)
 	return n.crossEntropy(acts[len(acts)-1], n.oneHot(y))
 }
 
 // Predict returns class ids (argmax for softmax, 0.5 threshold for the
 // binary sigmoid output).
 func (n *NN) Predict(x formats.CompressedMatrix) []float64 {
-	acts := n.forward(x)
+	acts := n.forward(x, nil)
 	out := acts[len(acts)-1]
 	pred := make([]float64, out.Rows())
 	if n.Classes <= 2 {

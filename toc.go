@@ -76,12 +76,30 @@ func Deserialize(img []byte) (*Batch, error) { return core.Deserialize(img) }
 type CompressedMatrix = formats.CompressedMatrix
 
 // ParallelOps is the optional interface of encodings whose multiplication
-// kernels shard across goroutines — including the left multiplications
-// v·A and M·A, which shard over accumulators rather than rows. Every
-// parallel kernel returns results bitwise identical to its sequential
-// counterpart for any worker count, so switching worker counts never
-// changes a training trajectory. TOC (and *Batch) implements it.
+// kernels shard across goroutines — the right multiplications A·v and A·M
+// over result rows and columns, the left multiplications v·A and M·A over
+// accumulators — and whose per-batch KernelPlan amortizes decode state
+// across a step's kernel calls. Every parallel kernel returns results
+// bitwise identical to its sequential counterpart for any worker count,
+// so switching worker counts never changes a training trajectory. TOC
+// (and *Batch) implements it.
 type ParallelOps = formats.ParallelOps
+
+// KernelPlan caches one mini-batch's decode state (TOC's decode tree C')
+// so the 2-3 kernel calls a gradient step makes on that batch share a
+// single O(|I|+|D|) build instead of paying it per operation. Obtain one
+// from ParallelOps.NewKernelPlan (or *Batch.NewKernelPlan); plans are
+// safe for concurrent use, and every plan call is bitwise identical to
+// the corresponding per-op kernel. The ml layer threads one plan through
+// each Grad automatically — DecodeTreeBuilds is the white-box counter
+// proving it.
+type KernelPlan = formats.KernelPlan
+
+// DecodeTreeBuilds returns the cumulative number of decode-tree (C')
+// builds in this process. With plan reuse, training builds the tree once
+// per (batch, gradient step) rather than once per multiplication; this
+// counter makes the amortization observable (cmd/toctrain prints it).
+func DecodeTreeBuilds() uint64 { return core.TreeBuilds() }
 
 // Codec pairs a scheme's encoder with its wire decoder.
 type Codec = formats.Codec
