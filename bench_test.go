@@ -49,6 +49,7 @@ func BenchmarkTable7EndToEnd(b *testing.B)        { runExperiment(b, "table7", 0
 func BenchmarkScalingEngine(b *testing.B)         { runExperiment(b, "scaling", 0.25) }
 func BenchmarkSpillShardScaling(b *testing.B)     { runExperiment(b, "spillscale", 0.25) }
 func BenchmarkRightMulScaling(b *testing.B)       { runExperiment(b, "rightmul", 0.25) }
+func BenchmarkAsyncScaling(b *testing.B)          { runExperiment(b, "asyncscale", 0.25) }
 
 // --- micro-benchmarks on a census-like 250-row mini-batch ---
 

@@ -1,0 +1,304 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares the
+// CSV tables cmd/tocbench emits (spillscale, rightmul, asyncscale, ...)
+// against committed BENCH_<experiment>.json baselines and fails when any
+// row's throughput metric regresses beyond the threshold.
+//
+// Usage:
+//
+//	benchdiff -baselines . spillscale.csv rightmul.csv asyncscale.csv
+//	benchdiff -baselines . -update asyncscale.csv   # (re)write baselines
+//
+// Baselines pin the *relative* metrics (the speedup columns), which
+// transfer across runners far better than absolute milliseconds: a CSV
+// row regresses when its speedup falls more than threshold (default 20%)
+// below the committed value (or rises above it, for lower-is-better
+// metrics). Rows present in the baseline but missing from the CSVs fail
+// the gate too — a silently dropped sweep point is a regression in
+// coverage. New rows not yet in the baseline are reported but do not
+// fail; run -update to adopt them.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is one committed BENCH_<experiment>.json.
+type baseline struct {
+	Experiment string `json:"experiment"`
+	// Metric is the CSV column compared against Rows.
+	Metric string `json:"metric"`
+	// Direction is "higher" (throughput-like: regression = falling below
+	// baseline) or "lower" (latency-like: regression = rising above).
+	Direction string `json:"direction"`
+	// Keys are the CSV columns whose "/"-joined values identify a row.
+	Keys []string `json:"keys"`
+	// Threshold overrides the command-line threshold when > 0.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Notes documents the baseline's provenance (which machine produced
+	// it, which rows were deliberately left out); benchdiff ignores it.
+	Notes string `json:"notes,omitempty"`
+	// Rows maps each key to its committed metric value.
+	Rows map[string]float64 `json:"rows"`
+}
+
+// defaultSpecs seeds -update for experiments without a committed
+// baseline yet. All three regimes gate on their speedup column: it is a
+// throughput ratio against an in-run reference, so it transfers across
+// runner generations where absolute epoch times do not.
+var defaultSpecs = map[string]baseline{
+	"spillscale": {Metric: "speedup_vs_1shard", Direction: "higher", Keys: []string{"shards", "workers"}},
+	"rightmul":   {Metric: "speedup", Direction: "higher", Keys: []string{"config", "workers"}},
+	"asyncscale": {Metric: "speedup_vs_sync", Direction: "higher", Keys: []string{"config", "staleness", "workers"}},
+}
+
+// table is one experiment's rows as parsed from a tocbench CSV.
+type table struct {
+	columns []string
+	rows    [][]string
+}
+
+// parseCSV reads tocbench's concatenated-table CSV format: each table
+// starts with a header record ("experiment", columns...) and its data
+// records carry the experiment id in the first field.
+func parseCSV(r io.Reader) (map[string]*table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	tables := map[string]*table{}
+	var columns []string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return tables, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) == 0 {
+			continue
+		}
+		if rec[0] == "experiment" {
+			columns = rec[1:]
+			continue
+		}
+		if columns == nil {
+			return nil, fmt.Errorf("data row before any header: %v", rec)
+		}
+		id := rec[0]
+		t := tables[id]
+		if t == nil {
+			t = &table{columns: columns}
+			tables[id] = t
+		}
+		t.rows = append(t.rows, rec[1:])
+	}
+}
+
+// metricRows extracts the baseline's keyed metric values from a table.
+func metricRows(b *baseline, t *table) (map[string]float64, error) {
+	col := map[string]int{}
+	for i, c := range t.columns {
+		col[c] = i
+	}
+	mi, ok := col[b.Metric]
+	if !ok {
+		return nil, fmt.Errorf("metric column %q not in CSV columns %v", b.Metric, t.columns)
+	}
+	out := map[string]float64{}
+	for _, row := range t.rows {
+		parts := make([]string, len(b.Keys))
+		for i, k := range b.Keys {
+			ki, ok := col[k]
+			if !ok {
+				return nil, fmt.Errorf("key column %q not in CSV columns %v", k, t.columns)
+			}
+			parts[i] = row[ki]
+		}
+		key := strings.Join(parts, "/")
+		v, err := strconv.ParseFloat(row[mi], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %q: bad %s value %q", key, b.Metric, row[mi])
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// compare reports the gate failures of current vs the baseline, and
+// separately the keys current has that the baseline does not.
+func compare(b *baseline, current map[string]float64, threshold float64) (failures, newRows []string) {
+	if b.Threshold > 0 {
+		threshold = b.Threshold
+	}
+	keys := make([]string, 0, len(b.Rows))
+	for k := range b.Rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		base := b.Rows[k]
+		got, ok := current[k]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s[%s]: baselined row missing from CSV", b.Experiment, k))
+			continue
+		}
+		switch b.Direction {
+		case "lower":
+			if got > base*(1+threshold) {
+				failures = append(failures,
+					fmt.Sprintf("%s[%s]: %s %.3f regressed >%.0f%% above baseline %.3f",
+						b.Experiment, k, b.Metric, got, threshold*100, base))
+			}
+		default: // "higher"
+			if got < base*(1-threshold) {
+				failures = append(failures,
+					fmt.Sprintf("%s[%s]: %s %.3f regressed >%.0f%% below baseline %.3f",
+						b.Experiment, k, b.Metric, got, threshold*100, base))
+			}
+		}
+	}
+	cur := make([]string, 0, len(current))
+	for k := range current {
+		cur = append(cur, k)
+	}
+	sort.Strings(cur)
+	for _, k := range cur {
+		if _, ok := b.Rows[k]; !ok {
+			newRows = append(newRows, k)
+		}
+	}
+	return failures, newRows
+}
+
+func baselinePath(dir, experiment string) string {
+	return filepath.Join(dir, "BENCH_"+experiment+".json")
+}
+
+func loadBaseline(dir, experiment string) (*baseline, error) {
+	data, err := os.ReadFile(baselinePath(dir, experiment))
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", baselinePath(dir, experiment), err)
+	}
+	if b.Experiment == "" {
+		b.Experiment = experiment
+	}
+	return &b, nil
+}
+
+func writeBaseline(dir string, b *baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(baselinePath(dir, b.Experiment), append(data, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		dir       = flag.String("baselines", ".", "directory holding BENCH_<experiment>.json files")
+		threshold = flag.Float64("threshold", 0.2, "relative regression that fails the gate (0.2 = 20%)")
+		update    = flag.Bool("update", false, "rewrite baselines from the CSVs instead of gating")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no CSV files given")
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	tables := map[string]*table{}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		parsed, err := parseCSV(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %v", path, err))
+		}
+		for id, t := range parsed {
+			if _, dup := tables[id]; dup {
+				fail(fmt.Errorf("experiment %q appears in more than one CSV", id))
+			}
+			tables[id] = t
+		}
+	}
+
+	ids := make([]string, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var failures []string
+	for _, id := range ids {
+		b, err := loadBaseline(*dir, id)
+		if os.IsNotExist(err) {
+			if spec, ok := defaultSpecs[id]; *update && ok {
+				spec.Experiment = id
+				b, err = &spec, nil
+			} else {
+				fmt.Printf("benchdiff: %s: no baseline %s, skipping\n", id, baselinePath(*dir, id))
+				continue
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+		current, err := metricRows(b, tables[id])
+		if err != nil {
+			fail(fmt.Errorf("%s: %v", id, err))
+		}
+		if *update {
+			b.Rows = current
+			if err := writeBaseline(*dir, b); err != nil {
+				fail(err)
+			}
+			fmt.Printf("benchdiff: wrote %s (%d rows)\n", baselinePath(*dir, id), len(current))
+			continue
+		}
+		fails, newRows := compare(b, current, *threshold)
+		failures = append(failures, fails...)
+		for _, k := range newRows {
+			fmt.Printf("benchdiff: %s[%s]: not in baseline (run -update to adopt)\n", id, k)
+		}
+		if len(fails) == 0 {
+			fmt.Printf("benchdiff: %s: %d rows within %.0f%% of baseline\n",
+				id, len(b.Rows), effectiveThreshold(b, *threshold)*100)
+		}
+	}
+	if *update {
+		return
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func effectiveThreshold(b *baseline, flagThreshold float64) float64 {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return flagThreshold
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `experiment,shards,workers,epoch_ms,speedup_vs_1shard
+spillscale,1,8,100,1.00
+spillscale,4,8,38,2.63
+experiment,config,staleness,workers,epoch_ms,speedup_vs_sync
+asyncscale,sync,-,8,25,1.00
+asyncscale,async,8,8,15,1.64
+`
+
+func parsed(t *testing.T) map[string]*table {
+	t.Helper()
+	tables, err := parseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables
+}
+
+// The concatenated-table format must split into per-experiment tables,
+// each keeping the header active when its rows appeared.
+func TestParseCSVConcatenatedTables(t *testing.T) {
+	tables := parsed(t)
+	if len(tables) != 2 {
+		t.Fatalf("parsed %d tables, want 2", len(tables))
+	}
+	if got := tables["spillscale"]; len(got.rows) != 2 || got.columns[3] != "speedup_vs_1shard" {
+		t.Errorf("spillscale table malformed: %+v", got)
+	}
+	if got := tables["asyncscale"]; len(got.rows) != 2 || got.columns[4] != "speedup_vs_sync" {
+		t.Errorf("asyncscale table malformed: %+v", got)
+	}
+	if _, err := parseCSV(strings.NewReader("spillscale,1,8\n")); err == nil {
+		t.Error("data row before any header should be an error")
+	}
+}
+
+func spillBaseline(rows map[string]float64) *baseline {
+	return &baseline{
+		Experiment: "spillscale",
+		Metric:     "speedup_vs_1shard",
+		Direction:  "higher",
+		Keys:       []string{"shards", "workers"},
+		Rows:       rows,
+	}
+}
+
+// The gate trips on a >threshold drop of a higher-is-better metric, on a
+// baselined row missing from the CSV — and on nothing else.
+func TestCompareGate(t *testing.T) {
+	tables := parsed(t)
+	b := spillBaseline(map[string]float64{"1/8": 1.0, "4/8": 2.6})
+	current, err := metricRows(b, tables["spillscale"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails, _ := compare(b, current, 0.2); len(fails) != 0 {
+		t.Errorf("within-threshold run failed the gate: %v", fails)
+	}
+
+	// 2.63 measured vs 3.4 committed is a 23% drop: regression.
+	b.Rows["4/8"] = 3.4
+	fails, _ := compare(b, current, 0.2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "4/8") {
+		t.Errorf("23%% drop not caught: %v", fails)
+	}
+	// A per-baseline threshold override loosens the same comparison.
+	b.Threshold = 0.5
+	if fails, _ := compare(b, current, 0.2); len(fails) != 0 {
+		t.Errorf("50%% baseline threshold still failed: %v", fails)
+	}
+	b.Threshold = 0
+
+	// A dropped sweep point is a coverage regression.
+	b.Rows = map[string]float64{"1/8": 1.0, "4/8": 2.6, "16/8": 4.0}
+	fails, _ = compare(b, current, 0.2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Errorf("missing row not caught: %v", fails)
+	}
+
+	// Rows the baseline has not adopted yet are reported, never failed.
+	b.Rows = map[string]float64{"1/8": 1.0}
+	fails, newRows := compare(b, current, 0.2)
+	if len(fails) != 0 {
+		t.Errorf("new row failed the gate: %v", fails)
+	}
+	if len(newRows) != 1 || newRows[0] != "4/8" {
+		t.Errorf("new rows = %v, want [4/8]", newRows)
+	}
+}
+
+// Lower-is-better metrics regress upward.
+func TestCompareLowerIsBetter(t *testing.T) {
+	tables := parsed(t)
+	b := &baseline{
+		Experiment: "asyncscale",
+		Metric:     "epoch_ms",
+		Direction:  "lower",
+		Keys:       []string{"config", "staleness", "workers"},
+		Rows:       map[string]float64{"sync/-/8": 25, "async/8/8": 10},
+	}
+	current, err := metricRows(b, tables["asyncscale"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15ms vs 10ms committed = 50% slower: regression; 25 vs 25: fine.
+	fails, _ := compare(b, current, 0.2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "async/8/8") {
+		t.Errorf("latency regression not caught: %v", fails)
+	}
+}
+
+// Bad metric or key columns surface as errors, not silent passes.
+func TestMetricRowsErrors(t *testing.T) {
+	tables := parsed(t)
+	b := spillBaseline(nil)
+	b.Metric = "nope"
+	if _, err := metricRows(b, tables["spillscale"]); err == nil {
+		t.Error("unknown metric column should be an error")
+	}
+	b = spillBaseline(nil)
+	b.Keys = []string{"nope"}
+	if _, err := metricRows(b, tables["spillscale"]); err == nil {
+		t.Error("unknown key column should be an error")
+	}
+}

@@ -38,7 +38,8 @@ func main() {
 		spillDirs  = flag.String("spill-dirs", "", "comma-separated spill shard directories (models distinct devices)")
 		diskModel  = flag.String("disk-model", "", "override the spill experiments' bandwidth model: per-request or shared-bucket")
 		evict      = flag.String("evict", "", "override the spill experiments' residency policy: first-fit, largest-first or access-order")
-		csvPath    = flag.String("csv", "", "also append every table to this CSV file")
+		staleness  = flag.Int("staleness", 0, "extra staleness bound for the asyncscale sweep (0 keeps the default sweep; negative adds the unbounded regime)")
+		csvPath    = flag.String("csv", "", "also append every table to this CSV file (refuses to overwrite an existing file)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -62,31 +63,47 @@ func main() {
 	cfg.SpillShards = *spillShard
 	cfg.DiskModel = *diskModel
 	cfg.Evict = *evict
+	cfg.Staleness = *staleness
 	if *spillDirs != "" {
 		cfg.SpillDirs = strings.Split(*spillDirs, ",")
 	}
 
+	// Resolve every experiment id before any side effects, so a typo'd
+	// -run cannot leave a truncated CSV behind.
+	ids := []string{*run}
+	if *run == "all" {
+		ids = bench.IDs()
+	}
+	experiments := make([]bench.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tocbench: unknown experiment %q; valid ids: %s (or 'all')\n",
+				id, strings.Join(bench.IDs(), ", "))
+			os.Exit(1)
+		}
+		experiments[i] = e
+	}
+
 	var csvFile *os.File
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		// O_EXCL: never silently clobber an existing results file — CI
+		// baselines compare against these.
+		f, err := os.OpenFile(*csvPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tocbench: %v\n", err)
+			if os.IsExist(err) {
+				fmt.Fprintf(os.Stderr, "tocbench: refusing to overwrite existing %s (delete it first or pick another -csv path)\n", *csvPath)
+			} else {
+				fmt.Fprintf(os.Stderr, "tocbench: %v\n", err)
+			}
 			os.Exit(1)
 		}
 		defer f.Close()
 		csvFile = f
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
-		ids = bench.IDs()
-	}
-	for _, id := range ids {
-		e, ok := bench.Get(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tocbench: unknown experiment %q (use -list)\n", id)
-			os.Exit(1)
-		}
+	for _, e := range experiments {
+		id := e.ID
 		table, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tocbench: %s: %v\n", id, err)

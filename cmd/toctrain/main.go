@@ -9,6 +9,7 @@
 //	toctrain -dataset mnist -model lr -budget 500000 -workers 8
 //	toctrain -dataset mnist -model lr -budget 500000 -workers 8 \
 //	    -spill-shards 4 -disk-model shared-bucket -seek 2ms -evict largest-first
+//	toctrain -dataset mnist -model lr -workers 8 -async -staleness 8
 //
 // The spill layer is configurable: -spill-shards/-spill-dirs spread the
 // spill across files/directories (prefetch reads distinct shards
@@ -31,6 +32,15 @@
 // on all eight cores. Each gradient also shares one decode-tree build
 // across its kernels (KernelPlan); the run prints the build counter so
 // the amortization is visible.
+//
+// With -async the bounded-staleness engine replaces the group steps:
+// every mini-batch gradient is its own parameter update, applied in
+// visit order by a single updater that admits a gradient only if its
+// parameter snapshot missed at most -staleness updates. There is no
+// merge barrier, so one slow batch never idles the other workers;
+// -staleness 0 walks the serial trajectory bitwise and -staleness -1
+// free-runs Hogwild-style. The run prints the update/rejection counters
+// and the observed staleness.
 package main
 
 import (
@@ -62,6 +72,8 @@ func main() {
 		prefetch   = flag.Int("prefetch", 16, "spill prefetch window depth in batches (engine mode)")
 		prefBytes  = flag.Int64("prefetch-bytes", 0, "bound the prefetch window by compressed bytes instead of only batch count (0 = off)")
 		group      = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory, with all workers sharding each gradient's kernels)")
+		async      = flag.Bool("async", false, "train with the asynchronous bounded-staleness engine instead of synchronous group steps")
+		staleness  = flag.Int("staleness", 8, "async mode: max parameter updates a gradient's snapshot may miss (0 = bitwise-serial trajectory, -1 = unbounded Hogwild-style free-running)")
 		spillShard = flag.Int("spill-shards", 0, "number of spill files, read concurrently by the prefetcher (0 = one, or one per -spill-dirs entry)")
 		spillDirs  = flag.String("spill-dirs", "", "comma-separated directories for spill shards (models distinct devices)")
 		diskModel  = flag.String("disk-model", "per-request", "bandwidth enforcement: per-request (aggregate scales with queue depth) or shared-bucket (aggregate capped per device)")
@@ -104,14 +116,22 @@ func main() {
 	defer store.Close()
 
 	var eng *toc.Engine
-	if *workers != 1 {
+	var aeng *toc.AsyncEngine
+	if *async {
+		aeng = toc.NewAsyncEngine(toc.AsyncConfig{Workers: *workers, Staleness: *staleness, Seed: *seed})
+	} else if *workers != 1 {
 		eng = toc.NewEngine(toc.EngineConfig{Workers: *workers, GroupSize: *group, Seed: *seed})
 	}
-	if eng != nil {
+	switch {
+	case aeng != nil:
+		if err := aeng.FillStore(store, d, *batchSize); err != nil {
+			log.Fatal(err)
+		}
+	case eng != nil:
 		if err := eng.FillStore(store, d, *batchSize); err != nil {
 			log.Fatal(err)
 		}
-	} else {
+	default:
 		for i := 0; i < d.NumBatches(*batchSize); i++ {
 			x, y := d.Batch(i, *batchSize)
 			if err := store.Add(x, y); err != nil {
@@ -140,7 +160,28 @@ func main() {
 	var res *toc.TrainResult
 	var pf *toc.Prefetcher
 	treeBuilds := toc.DecodeTreeBuilds()
-	if eng != nil {
+	switch {
+	case aeng != nil:
+		sm, ok := model.(toc.SnapshotModel)
+		if !ok {
+			log.Fatalf("model %q cannot train asynchronously", *modelName)
+		}
+		pf = aeng.NewPrefetcher(store, *prefetch, *prefBytes)
+		defer pf.Close()
+		bound := "unbounded"
+		if aeng.Staleness() >= 0 {
+			bound = fmt.Sprint(aeng.Staleness())
+		}
+		fmt.Printf("async engine: %d workers, staleness %s, kernel workers %d, prefetch depth %d (byte budget %d)\n",
+			aeng.Workers(), bound, aeng.KernelWorkers(), *prefetch, *prefBytes)
+		res, err = aeng.Train(sm, pf, *epochs, *lr, cb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		as := aeng.Stats()
+		fmt.Printf("async: %d updates, %d rejected, staleness max %d mean %.2f\n",
+			as.Updates, as.Rejected, as.MaxStaleness, as.MeanStaleness())
+	case eng != nil:
 		gm, ok := model.(toc.GradModel)
 		if !ok {
 			log.Fatalf("model %q cannot train in parallel", *modelName)
@@ -150,7 +191,7 @@ func main() {
 		fmt.Printf("engine: %d workers, group %d, kernel workers %d, prefetch depth %d (byte budget %d)\n",
 			eng.Workers(), eng.GroupSize(), eng.KernelWorkers(store.NumBatches()), *prefetch, *prefBytes)
 		res = eng.Train(gm, pf, *epochs, *lr, cb)
-	} else {
+	default:
 		res = toc.Train(model, store, *epochs, *lr, cb)
 	}
 	treeBuilds = toc.DecodeTreeBuilds() - treeBuilds

@@ -118,4 +118,31 @@ func TestFacadeEndToEnd(t *testing.T) {
 			t.Fatalf("sharded store batch %d round trip mismatch", i)
 		}
 	}
+	// The async surface: every NewModel model snapshots, TrainAsync runs
+	// the bounded-staleness engine, and the staleness bound holds.
+	am, err := NewModel("lr", d.X.Cols(), d.Classes, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := am.(SnapshotModel); !ok {
+		t.Fatal("NewModel models should implement SnapshotModel")
+	}
+	ares, err := TrainAsync(am, src, 4, 0.5, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ares.EpochLoss) != 4 {
+		t.Fatalf("async epochs = %d", len(ares.EpochLoss))
+	}
+	aeng := NewAsyncEngine(AsyncConfig{Workers: 4, Staleness: 2})
+	am2, err := NewModel("lr", d.X.Cols(), d.Classes, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aeng.Train(am2.(SnapshotModel), src, 2, 0.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := aeng.Stats(); st.MaxStaleness > 2 || st.Updates != int64(2*src.NumBatches()) {
+		t.Fatalf("async stats out of contract: %+v", st)
+	}
 }

@@ -47,6 +47,9 @@ type Config struct {
 	// Evict overrides the spill experiments' residency policy
 	// ("first-fit", "largest-first", "access-order"; "" = first-fit).
 	Evict string
+	// Staleness adds an extra staleness bound to the asyncscale sweep
+	// (0 keeps the default sweep; negative adds the unbounded regime).
+	Staleness int
 }
 
 // spillOptions translates the Config's spill knobs into store options for

@@ -8,9 +8,9 @@ import (
 )
 
 func TestRegistryHasEveryPaperArtifact(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "rightmul", "scaling", "spillscale",
-		"table6", "table7"}
+	want := []string{"asyncscale", "fig2", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "rightmul", "scaling",
+		"spillscale", "table6", "table7"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %q not registered", id)
@@ -115,6 +115,50 @@ func TestSpillScaleShapes(t *testing.T) {
 		if four >= one*0.9 {
 			t.Errorf("workers=%s: 4-shard epoch %.0fms not faster than 1-shard %.0fms", w, four, one)
 		}
+	}
+}
+
+// The asyncscale acceptance shape: under skewed batch costs the sync
+// barrier pays the straggler every group step, so at 8 workers the async
+// engine with a staleness window covering the skew period must turn an
+// epoch around faster than the synchronous engine; staleness 0 is the
+// serial chain and must never report nonzero observed staleness. The
+// batch costs are deterministic sleeps, so the gap is stable even on a
+// single core (sleeps overlap; the barrier's serialization does not).
+func TestAsyncScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	e, _ := Get("asyncscale")
+	table, err := e.Run(Config{Scale: 0.4, Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, c := range table.Columns {
+		col[c] = i
+	}
+	type key struct{ config, staleness, workers string }
+	epoch := map[key]float64{}
+	for _, row := range table.Rows {
+		ms, err := strconv.ParseFloat(row[col["epoch_ms"]], 64)
+		if err != nil {
+			t.Fatalf("bad epoch_ms %q", row[col["epoch_ms"]])
+		}
+		epoch[key{row[col["config"]], row[col["staleness"]], row[col["workers"]]}] = ms
+		if row[col["config"]] == "async" && row[col["staleness"]] == "0" && row[col["stale_max"]] != "0" {
+			t.Errorf("staleness-0 row observed stale_max %s", row[col["stale_max"]])
+		}
+	}
+	sync8 := epoch[key{"sync", "-", "8"}]
+	async8 := epoch[key{"async", "8", "8"}]
+	if sync8 == 0 || async8 == 0 {
+		t.Fatalf("missing sweep rows: %v", epoch)
+	}
+	// The mechanism typically yields ~1.6x at the window = skew period;
+	// 0.95 only filters jitter.
+	if async8 >= sync8*0.95 {
+		t.Errorf("workers=8: async staleness-8 epoch %.0fms not faster than sync barrier %.0fms", async8, sync8)
 	}
 }
 

@@ -1,0 +1,493 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"toc/internal/data"
+	"toc/internal/ml"
+	"toc/internal/storage"
+)
+
+// Asynchronous bounded-staleness training — the alternative to Train's
+// synchronous group steps. The synchronous engine merges gradients at a
+// barrier every step, so one slow batch (a spill miss, a skewed shard, a
+// cold decode) stalls the whole pool. Here workers pull batch positions
+// from a shared queue, compute each gradient on a private model clone
+// refreshed from a versioned parameter snapshot, and hand the result to a
+// single updater goroutine that applies updates in position order. The
+// parameter clock counts applied updates; a gradient computed against
+// snapshot version v and applied as update p has staleness p−v — the
+// number of updates it failed to see.
+//
+// The staleness bound is enforced twice. The queue releases position p
+// only once the clock has reached p−staleness, so at most staleness+1
+// positions are ever in flight and no worker computes against parameters
+// older than the bound allows; and the updater independently re-checks
+// every gradient at apply time, rejecting and recomputing any whose
+// snapshot has fallen more than staleness updates behind (the defensive
+// half: with the gate intact it never fires, but it makes the bound a
+// property of the updater, not of scheduler timing).
+//
+// Staleness 0 forces a fully serial chain — each gradient is computed at
+// exactly the version it is applied to — so the trajectory is bitwise
+// identical to the synchronous engine at GroupSize 1 (and to serial
+// ml.Train), for any worker count: the repo's identity-test discipline.
+// StalenessUnbounded is Hogwild-style free-running: every position is
+// released immediately (throttled only by the pipeline's resource cap)
+// and workers never wait on the clock, so a straggler delays only its own
+// position's update, never another worker's compute.
+type Async struct {
+	workers   int
+	staleness int
+	seed      int64
+	shuffle   bool
+
+	// releaseSlack widens the release gate past the staleness bound
+	// without loosening the updater's admission check, forcing the
+	// reject-and-recompute path to fire. Tests only: production runs keep
+	// it 0, where the gate makes rejection impossible.
+	releaseSlack int
+
+	statsMu sync.Mutex
+	stats   AsyncStats
+}
+
+// StalenessUnbounded disables the staleness bound: workers free-run
+// against whatever snapshot is current when they start (Hogwild-style).
+// Updates are still applied in position order by the single updater, so
+// the run remains race-free; only the gradient *values* depend on timing.
+const StalenessUnbounded = -1
+
+// AsyncConfig sizes the asynchronous engine.
+type AsyncConfig struct {
+	// Workers is the goroutine pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Staleness bounds how many parameter updates a gradient's snapshot
+	// may miss and still be applied. 0 reproduces the synchronous
+	// GroupSize-1 trajectory bitwise; StalenessUnbounded (-1, or any
+	// negative value) free-runs.
+	Staleness int
+	// Seed drives the per-epoch visit permutation when Shuffle is set.
+	Seed int64
+	// Shuffle revisits batches in a fresh seeded permutation every epoch,
+	// using the same permutations as the synchronous engine.
+	Shuffle bool
+}
+
+// AsyncStats describes one asynchronous training run.
+type AsyncStats struct {
+	// Updates counts applied gradients (epochs × batches on a clean run).
+	Updates int64
+	// Rejected counts gradients the updater refused because their
+	// snapshot exceeded the staleness bound; each rejection requeues the
+	// batch for recompute against fresher parameters.
+	Rejected int64
+	// MaxStaleness is the largest clock−version gap among applied
+	// gradients; it never exceeds the configured bound.
+	MaxStaleness int64
+	// StaleSum accumulates the staleness of every applied gradient;
+	// StaleSum/Updates is the mean.
+	StaleSum int64
+}
+
+// MeanStaleness is the average number of updates an applied gradient's
+// snapshot missed.
+func (s AsyncStats) MeanStaleness() float64 {
+	if s.Updates == 0 {
+		return 0
+	}
+	return float64(s.StaleSum) / float64(s.Updates)
+}
+
+// NewAsync builds an asynchronous bounded-staleness engine from cfg.
+func NewAsync(cfg AsyncConfig) *Async {
+	w := cfg.Workers
+	if w <= 0 {
+		w = defaultWorkers()
+	}
+	s := cfg.Staleness
+	if s < 0 {
+		s = StalenessUnbounded
+	}
+	return &Async{workers: w, staleness: s, seed: cfg.Seed, shuffle: cfg.Shuffle}
+}
+
+// Workers returns the pool size.
+func (a *Async) Workers() int { return a.workers }
+
+// Staleness returns the configured bound (StalenessUnbounded = none).
+func (a *Async) Staleness() int { return a.staleness }
+
+// Stats returns the counters of the most recent Train run.
+func (a *Async) Stats() AsyncStats {
+	a.statsMu.Lock()
+	defer a.statsMu.Unlock()
+	return a.stats
+}
+
+// inflightCap bounds how many positions may be released but not yet
+// applied: the staleness window when one is configured, and a resource
+// ceiling (gradient buffers, queued tasks) either way.
+func (a *Async) inflightCap() int {
+	limit := 4*a.workers + 4
+	if a.staleness >= 0 && a.staleness+1+a.releaseSlack < limit {
+		limit = a.staleness + 1 + a.releaseSlack
+	}
+	return limit
+}
+
+// KernelWorkers returns the goroutine count each in-flight gradient's
+// kernels get: with a tight staleness window fewer gradients are in
+// flight than the pool holds, so the spare workers shard the kernels
+// inside each gradient (staleness 0 puts the whole pool into the one
+// running gradient, mirroring the synchronous GroupSize-1 split).
+func (a *Async) KernelWorkers() int {
+	concurrent := a.inflightCap()
+	if concurrent > a.workers {
+		concurrent = a.workers
+	}
+	per := a.workers / concurrent
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// RequestSource is a BatchSource that accepts explicit single-batch
+// prefetch requests; storage.Prefetcher implements it. The async engine
+// uses it whenever its dispatch queue deviates from the announced epoch
+// permutation — a rejected gradient's batch is re-read for the recompute
+// — so the prefetch stream follows the queue, not a fixed permutation.
+type RequestSource interface {
+	Request(idx int)
+}
+
+// NewPrefetcher sizes a spill prefetcher for asynchronous training the
+// way Engine.NewPrefetcher does for group steps: readers cover every
+// spill shard and the whole worker pool, and depth <= 0 defaults to two
+// pipeline windows' worth of batches. maxBytes > 0 bounds the window by
+// compressed bytes.
+func (a *Async) NewPrefetcher(st *storage.Store, depth int, maxBytes int64) *storage.Prefetcher {
+	if depth <= 0 {
+		depth = 2 * a.inflightCap()
+		if depth < 8 {
+			depth = 8
+		}
+	}
+	readers := a.workers
+	if sh := st.Shards(); readers < sh {
+		readers = sh
+	}
+	var opts []storage.PrefetchOption
+	if maxBytes > 0 {
+		opts = append(opts, storage.WithPrefetchBytes(maxBytes))
+	}
+	return storage.NewPrefetcher(st, depth, readers, opts...)
+}
+
+// FillStore ingests a dataset exactly like Engine.FillStore (sharded
+// compression across the pool, in-order admission, epoch-0 order
+// announced to the eviction policy), using this engine's pool and seed.
+func (a *Async) FillStore(st *storage.Store, d *data.Dataset, batchSize int) error {
+	return New(Config{Workers: a.workers, Seed: a.seed, Shuffle: a.shuffle}).FillStore(st, d, batchSize)
+}
+
+// asyncTask is one queued unit of work: global position p (epoch-major)
+// and the batch index that position visits.
+type asyncTask struct {
+	pos   int64
+	batch int
+}
+
+// asyncResult is a computed gradient waiting for the updater.
+type asyncResult struct {
+	pos     int64
+	batch   int
+	version int64 // parameter clock at snapshot time
+	loss    float64
+	grad    []float64
+}
+
+// asyncRun is the shared state of one Train call, kept off the Async
+// struct so Train stays reentrant.
+type asyncRun struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	clock   int64 // applied updates = next position to apply
+	stopped bool
+
+	done chan struct{}
+	once sync.Once
+
+	errMu sync.Mutex
+	err   error
+}
+
+// stop wakes every goroutine gated on the clock or the done channel;
+// err != nil records the first failure.
+func (r *asyncRun) stop(err error) {
+	if err != nil {
+		r.errMu.Lock()
+		if r.err == nil {
+			r.err = err
+		}
+		r.errMu.Unlock()
+	}
+	r.once.Do(func() { close(r.done) })
+	r.mu.Lock()
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *asyncRun) failure() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// recoverTo converts a panic in a worker or the updater into a run error
+// so Train can drain the pool and report instead of crashing the process
+// mid-epoch.
+func (r *asyncRun) recoverTo(role string) {
+	if p := recover(); p != nil {
+		r.stop(fmt.Errorf("engine: async %s panicked: %v", role, p))
+	}
+}
+
+// Train runs asynchronous bounded-staleness MGD for the given epochs:
+// every epoch visits all batches (in the seeded permutation when Shuffle
+// is set), each batch's gradient is one parameter update, and updates are
+// applied in visit order with the staleness discipline of the package
+// doc. The per-epoch losses sum each update's admitted mini-batch loss,
+// exactly as the serial driver accounts them. cb may be nil; it runs on
+// the updater goroutine as each epoch's last update lands.
+//
+// A panic in any worker (a poisoned batch, a model bug) aborts the run:
+// the queue is drained, every goroutine joins, and the error is returned
+// alongside the partial result.
+func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback) (*ml.TrainResult, error) {
+	res := &ml.TrainResult{}
+	start := time.Now()
+	n := src.NumBatches()
+	total := int64(epochs) * int64(n)
+	a.statsMu.Lock()
+	a.stats = AsyncStats{}
+	a.statsMu.Unlock()
+	if total == 0 {
+		res.Total = time.Since(start)
+		return res, nil
+	}
+	np := m.NumParams()
+	bound := a.staleness // < 0 = unbounded
+	inflight := a.inflightCap()
+
+	run := &asyncRun{done: make(chan struct{})}
+	run.cond = sync.NewCond(&run.mu)
+
+	tasks := make(chan asyncTask, inflight)
+	requeue := make(chan asyncTask, 4)
+	results := make(chan asyncResult, inflight+a.workers)
+	bufs := make(chan []float64, inflight+a.workers)
+	for i := 0; i < inflight+a.workers; i++ {
+		bufs <- make([]float64, np)
+	}
+
+	var wg sync.WaitGroup
+
+	// Releaser: feeds the queue in epoch-major position order, gated so
+	// no position outruns the staleness window, announcing each epoch's
+	// permutation to an order-aware source as the queue enters it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(tasks)
+		order := identityOrder(n)
+		for p := int64(0); p < total; p++ {
+			epoch := int(p / int64(n))
+			pos := int(p % int64(n))
+			if pos == 0 {
+				if a.shuffle {
+					order = epochPerm(a.seed, epoch, n)
+				}
+				if os, ok := src.(OrderedSource); ok {
+					os.SetOrder(order)
+					if ns, ok := src.(NextOrderedSource); ok && a.shuffle && epoch+1 < epochs {
+						ns.SetNextOrder(epochPerm(a.seed, epoch+1, n))
+					}
+				}
+			}
+			if bound >= 0 {
+				gate := p - int64(bound) - int64(a.releaseSlack)
+				run.mu.Lock()
+				for run.clock < gate && !run.stopped {
+					run.cond.Wait()
+				}
+				stopped := run.stopped
+				run.mu.Unlock()
+				if stopped {
+					return
+				}
+			}
+			select {
+			case tasks <- asyncTask{pos: p, batch: order[pos]}:
+			case <-run.done:
+				return
+			}
+		}
+	}()
+
+	// Workers: pull positions (requeues first — a rejected position
+	// blocks the clock until recomputed), refresh a private clone from
+	// the versioned snapshot, and compute the gradient on the clone so
+	// reads never race the updater's writes.
+	kw := a.KernelWorkers()
+	for w := 0; w < a.workers; w++ {
+		clone := m.Clone()
+		if kp, ok := clone.(ml.KernelParallel); ok {
+			kp.SetKernelWorkers(kw)
+		}
+		wg.Add(1)
+		go func(clone ml.SnapshotModel) {
+			defer wg.Done()
+			defer run.recoverTo("worker")
+			snap := make([]float64, np)
+			in := tasks
+			for {
+				var tk asyncTask
+				select {
+				case tk = <-requeue:
+				default:
+					select {
+					case tk = <-requeue:
+					case t, ok := <-in:
+						if !ok {
+							in = nil // drained; keep serving requeues
+							continue
+						}
+						tk = t
+					case <-run.done:
+						return
+					}
+				}
+				x, y := src.Batch(tk.batch)
+				run.mu.Lock()
+				version := run.clock
+				m.Params(snap)
+				run.mu.Unlock()
+				clone.SetParams(snap)
+				var g []float64
+				select {
+				case g = <-bufs:
+				case <-run.done:
+					return
+				}
+				loss := clone.Grad(x, y, g)
+				select {
+				case results <- asyncResult{pos: tk.pos, batch: tk.batch, version: version, loss: loss, grad: g}:
+				case <-run.done:
+					return
+				}
+			}
+		}(clone)
+	}
+
+	// Updater: the single writer. Applies gradients in position order,
+	// admitting each only if its snapshot is within the staleness bound
+	// of the clock, and rejecting the rest back to the queue.
+	stats := a.runUpdater(run, m, src, res, start, n, total, int64(bound), lr, cb, results, requeue, bufs)
+
+	run.stop(nil) // normal completion, or echo of an abort
+	wg.Wait()
+
+	a.statsMu.Lock()
+	a.stats = stats
+	a.statsMu.Unlock()
+	res.Total = time.Since(start)
+	return res, run.failure()
+}
+
+// runUpdater executes the updater loop on the caller's goroutine and
+// returns the run's staleness accounting. It is the only goroutine that
+// mutates the model.
+func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource, res *ml.TrainResult,
+	start time.Time, n int, total, bound int64, lr float64, cb ml.EpochCallback,
+	results chan asyncResult, requeue chan asyncTask, bufs chan []float64) AsyncStats {
+
+	defer run.recoverTo("updater")
+	var stats AsyncStats
+	pendingByPos := make(map[int64]asyncResult, cap(results))
+	epochStart := start
+	var epochLoss float64
+	for next := int64(0); next < total; {
+		var r asyncResult
+		if buffered, ok := pendingByPos[next]; ok {
+			r = buffered
+			delete(pendingByPos, next)
+		} else {
+			select {
+			case r = <-results:
+			case <-run.done: // aborted by a worker panic
+				return stats
+			}
+			if r.pos != next {
+				pendingByPos[r.pos] = r
+				continue
+			}
+		}
+		stale := next - r.version
+		if bound >= 0 && stale > bound {
+			// The snapshot missed more updates than the bound allows:
+			// refuse it and recompute against current parameters. The
+			// clock cannot advance past this position meanwhile, so the
+			// recompute's snapshot is exact and always admitted.
+			stats.Rejected++
+			bufs <- r.grad
+			if rs, ok := src.(RequestSource); ok {
+				rs.Request(r.batch)
+			}
+			select {
+			case requeue <- asyncTask{pos: r.pos, batch: r.batch}:
+			case <-run.done:
+				return stats
+			}
+			continue
+		}
+		run.mu.Lock()
+		m.ApplyGrad(r.grad, lr)
+		run.clock = next + 1
+		run.cond.Broadcast()
+		run.mu.Unlock()
+		bufs <- r.grad
+		stats.Updates++
+		stats.StaleSum += stale
+		if stale > stats.MaxStaleness {
+			stats.MaxStaleness = stale
+		}
+		epochLoss += r.loss
+		next++
+		if next%int64(n) == 0 {
+			epoch := int(next/int64(n)) - 1
+			loss := epochLoss / float64(n)
+			res.EpochLoss = append(res.EpochLoss, loss)
+			res.EpochTime = append(res.EpochTime, time.Since(epochStart))
+			if cb != nil {
+				cb(epoch, time.Since(start), loss)
+			}
+			epochLoss = 0
+			epochStart = time.Now()
+		}
+	}
+	return stats
+}
+
+// identityOrder is the in-order visit sequence used when Shuffle is off.
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

@@ -69,11 +69,14 @@ type Engine struct {
 	shuffle bool
 }
 
+// defaultWorkers is the pool size when a config leaves Workers unset.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // New builds an engine from cfg.
 func New(cfg Config) *Engine {
 	w := cfg.Workers
 	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+		w = defaultWorkers()
 	}
 	g := cfg.GroupSize
 	if g <= 0 {

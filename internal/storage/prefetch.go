@@ -207,29 +207,58 @@ func (p *Prefetcher) scheduleLocked(pos int) {
 		} else {
 			idx = p.order[at%n]
 		}
-		if p.store.Resident(idx) {
-			continue
+		if !p.requestLocked(idx) {
+			return // byte budget or shard queue exhausted; a later access re-schedules
 		}
-		if _, inFlight := p.cache[idx]; inFlight {
-			continue
-		}
-		size := p.store.spans[idx].length
-		// The byte budget stops the window from extending, but never
-		// below one entry: a batch bigger than the whole budget must
-		// still be fetchable once the cache drains, or it (and everything
-		// behind it) would be a permanent synchronous miss.
-		if p.maxBytes > 0 && len(p.cache) > 0 && p.cacheBytes+size > p.maxBytes {
-			return // byte budget reached; a later access re-schedules
-		}
-		en := &entry{done: make(chan struct{}), size: size}
-		select {
-		case p.jobs[p.store.ShardOf(idx)] <- fetchJob{idx: idx, en: en}:
-			p.cache[idx] = en
-			p.cacheBytes += size
-			p.stats.Prefetched++
-		default:
-			return // queue full; a later access re-schedules
-		}
+	}
+}
+
+// Request schedules a background read of one specific batch, regardless
+// of its place in the predicted order. The async engine calls this when
+// its dispatch queue deviates from the announced permutation — a
+// staleness-rejected gradient's batch is about to be re-read for the
+// recompute — so the prefetch stream follows the actual queue rather
+// than only the epoch permutation. Resident, already-cached and in-flight
+// batches are no-ops; like the window, an explicit request respects the
+// byte budget (but never starves below one entry) and degrades to a
+// synchronous read if the shard's queue is full.
+func (p *Prefetcher) Request(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || idx < 0 || idx >= p.store.NumBatches() {
+		return
+	}
+	p.requestLocked(idx)
+}
+
+// requestLocked queues a background read of batch idx if it is spilled,
+// uncached, within the byte budget and the shard queue has room. It
+// reports whether the window may keep extending (false = budget or queue
+// exhausted). Must be called with p.mu held.
+func (p *Prefetcher) requestLocked(idx int) bool {
+	if p.store.Resident(idx) {
+		return true
+	}
+	if _, inFlight := p.cache[idx]; inFlight {
+		return true
+	}
+	size := p.store.spans[idx].length
+	// The byte budget stops the window from extending, but never below
+	// one entry: a batch bigger than the whole budget must still be
+	// fetchable once the cache drains, or it (and everything behind it)
+	// would be a permanent synchronous miss.
+	if p.maxBytes > 0 && len(p.cache) > 0 && p.cacheBytes+size > p.maxBytes {
+		return false // budget reached; a later access re-schedules
+	}
+	en := &entry{done: make(chan struct{}), size: size}
+	select {
+	case p.jobs[p.store.ShardOf(idx)] <- fetchJob{idx: idx, en: en}:
+		p.cache[idx] = en
+		p.cacheBytes += size
+		p.stats.Prefetched++
+		return true
+	default:
+		return false // queue full; a later access re-schedules
 	}
 }
 

@@ -359,3 +359,82 @@ func TestPrefetcherResidentBypass(t *testing.T) {
 		t.Errorf("resident reads touched the prefetcher: %+v", ps)
 	}
 }
+
+// Request schedules a background read outside the predicted order; the
+// batch must then be served as a hit, and requests for resident, cached
+// or out-of-range indices must be harmless no-ops.
+func TestPrefetcherRequestExplicitFetch(t *testing.T) {
+	const n = 12
+	st := spilledStore(t, n)
+	pf := NewPrefetcher(st, 2, 2) // window covers 1..2 only
+	defer pf.Close()
+
+	// Far outside the primed window: a plain access would be a miss.
+	pf.Request(n - 1)
+	// No-ops: duplicate of an in-flight entry, and out-of-range indices.
+	pf.Request(n - 1)
+	pf.Request(-1)
+	pf.Request(n)
+
+	c, _ := pf.Batch(n - 1)
+	want, _ := st.Batch(n - 1)
+	if !c.Decode().Equal(want.Decode()) {
+		t.Fatalf("requested batch contents differ")
+	}
+	ps := pf.Stats()
+	if ps.Misses != 0 || ps.Hits != 1 {
+		t.Errorf("explicitly requested batch was not a hit: %+v", ps)
+	}
+}
+
+// Close must be safe while reads are still in flight: queued background
+// reads drain, consumers blocked on an in-flight entry land, and a
+// concurrent scheduling path (Batch, Request) never sends on the closed
+// job queues.
+func TestPrefetcherCloseWithReadsInFlight(t *testing.T) {
+	const n = 16
+	st := spilledStore(t, n)
+	// Slow reads so the window is still in flight when Close races in.
+	st.SetReadBandwidth(200 << 10)
+	pf := NewPrefetcher(st, 8, 4)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	// Consumers racing Close: some will catch in-flight entries and wait
+	// on them; all must return.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			c, _ := pf.Batch(i)
+			if c == nil {
+				t.Errorf("batch %d returned nil", i)
+			}
+		}(i)
+	}
+	// Requesters racing Close: after close they must be silent no-ops.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			pf.Request(i)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := pf.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	// Idempotent, and still safe after everything drained.
+	if err := pf.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	pf.Request(0)
+}

@@ -201,6 +201,49 @@ func TrainParallel(m Model, src BatchSource, epochs int, lr float64, workers int
 	return engine.New(engine.Config{Workers: workers}).Train(gm, src, epochs, lr, cb)
 }
 
+// SnapshotModel is a GradModel whose flat parameter vector can be
+// exported (Params), restored (SetParams) and cloned — what asynchronous
+// training needs so workers read stable parameter views while the
+// updater writes. Every model NewModel returns implements it.
+type SnapshotModel = ml.SnapshotModel
+
+// AsyncEngine is the asynchronous bounded-staleness training engine, the
+// alternative to Engine's synchronous group steps: workers pull batches
+// from a shared queue and compute gradients on private clones refreshed
+// from versioned parameter snapshots, and a single updater applies the
+// results in visit order, admitting each gradient only if its snapshot
+// missed at most Staleness updates. Staleness 0 reproduces the
+// synchronous GroupSize-1 trajectory bitwise for any worker count;
+// StalenessUnbounded free-runs Hogwild-style, so one slow batch never
+// stalls another worker's compute.
+type AsyncEngine = engine.Async
+
+// AsyncConfig sizes the async engine: Workers, Staleness, Seed, Shuffle.
+type AsyncConfig = engine.AsyncConfig
+
+// AsyncStats reports an async run's applied updates, staleness-rejected
+// gradients, and the max/mean staleness among applied gradients.
+type AsyncStats = engine.AsyncStats
+
+// StalenessUnbounded disables the async engine's staleness bound
+// (Hogwild-style free-running).
+const StalenessUnbounded = engine.StalenessUnbounded
+
+// NewAsyncEngine builds an asynchronous bounded-staleness engine.
+func NewAsyncEngine(cfg AsyncConfig) *AsyncEngine { return engine.NewAsync(cfg) }
+
+// TrainAsync runs asynchronous bounded-staleness MGD: each mini-batch
+// gradient is one parameter update, applied in visit order under the
+// staleness discipline. It returns an error (with the pool fully
+// drained) if a worker fails mid-epoch. cb may be nil.
+func TrainAsync(m Model, src BatchSource, epochs int, lr float64, workers, staleness int, cb ml.EpochCallback) (*TrainResult, error) {
+	sm, ok := m.(ml.SnapshotModel)
+	if !ok {
+		return ml.Train(m, src, epochs, lr, cb), nil
+	}
+	return engine.NewAsync(engine.AsyncConfig{Workers: workers, Staleness: staleness}).Train(sm, src, epochs, lr, cb)
+}
+
 // Store is a memory-budgeted mini-batch store: batches beyond the budget
 // spill to disk and are re-read every epoch, reproducing the paper's
 // out-of-core training regime. The spill side is sharded across N files
