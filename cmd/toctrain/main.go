@@ -44,14 +44,38 @@
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"log"
+	"math"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"toc"
 )
+
+// paramsCRC fingerprints a model's flat parameter vector so two runs can
+// be compared for bitwise identity from their output alone.
+func paramsCRC(m toc.Model) (uint32, bool) {
+	sm, ok := m.(toc.SnapshotModel)
+	if !ok {
+		return 0, false
+	}
+	params := make([]float64, sm.NumParams())
+	sm.Params(params)
+	buf := make([]byte, 8*len(params))
+	for i, p := range params {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(p))
+	}
+	return crc32.ChecksumIEEE(buf), true
+}
 
 func main() {
 	log.SetFlags(0)
@@ -79,8 +103,20 @@ func main() {
 		diskModel  = flag.String("disk-model", "per-request", "bandwidth enforcement: per-request (aggregate scales with queue depth) or shared-bucket (aggregate capped per device)")
 		seek       = flag.Duration("seek", 0, "simulated per-read access latency (e.g. 2ms; serialized per shard under shared-bucket)")
 		evict      = flag.String("evict", "first-fit", "spill residency policy: first-fit, largest-first or access-order")
+		ckptDir    = flag.String("checkpoint-dir", "", "write crash-safe training checkpoints (and the spill-store manifest) into this directory")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in parameter updates (0 = once per epoch)")
+		resumeRun  = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir, recovering the spill store from its manifest instead of re-ingesting")
+		faults     = flag.String("faultpoint", "", "arm fault-injection points, e.g. checkpoint.rename=crash:2 (testing only)")
 	)
 	flag.Parse()
+	if *faults != "" {
+		if err := toc.ArmFaultpoints(*faults); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *resumeRun && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
 
 	d, err := toc.GenerateDataset(*dataset, *rows, *seed)
 	if err != nil {
@@ -109,35 +145,113 @@ func main() {
 	if *spillDirs != "" {
 		opts = append(opts, toc.WithShardDirs(strings.Split(*spillDirs, ",")...))
 	}
-	store, err := toc.NewStore("", *method, *budget, opts...)
-	if err != nil {
-		log.Fatal(err)
+	// Checkpointing: snapshots and the spill-store manifest live in
+	// -checkpoint-dir. A resume recovers the store from the manifest
+	// (shard files reopened and CRC-verified, no re-ingest); a crash
+	// before the manifest rename just re-ingests — either way the
+	// trajectory is unchanged.
+	var ckpt *toc.CheckpointWriter
+	var resumeState *toc.CheckpointState
+	manifest := ""
+	if *ckptDir != "" {
+		manifest = filepath.Join(*ckptDir, "store.manifest")
+		var err error
+		if ckpt, err = toc.NewCheckpointWriter(*ckptDir); err != nil {
+			log.Fatal(err)
+		}
+		defer ckpt.Close()
+		if *resumeRun {
+			st, err := toc.LatestCheckpoint(*ckptDir)
+			switch {
+			case err == nil:
+				resumeState = st
+				fmt.Printf("resuming from checkpoint step %d (epoch %d)\n", st.Step(), st.Epoch)
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Println("no checkpoint yet; starting fresh")
+			default:
+				log.Fatal(err) // corrupt newest checkpoint: loud, no fallback
+			}
+		}
+	}
+
+	var store *toc.Store
+	recovered := false
+	if *resumeRun && manifest != "" {
+		if _, statErr := os.Stat(manifest); statErr == nil {
+			s, err := toc.OpenStore(manifest, opts...)
+			if err != nil {
+				log.Fatal(err) // truncated/corrupt shard or manifest: loud
+			}
+			store = s
+			recovered = true
+			fmt.Printf("recovered spill store from %s\n", manifest)
+		}
+	}
+	if store == nil {
+		s, err := toc.NewStore("", *method, *budget, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = s
 	}
 	defer store.Close()
 
 	var eng *toc.Engine
 	var aeng *toc.AsyncEngine
 	if *async {
-		aeng = toc.NewAsyncEngine(toc.AsyncConfig{Workers: *workers, Staleness: *staleness, Seed: *seed})
-	} else if *workers != 1 {
-		eng = toc.NewEngine(toc.EngineConfig{Workers: *workers, GroupSize: *group, Seed: *seed})
+		aeng = toc.NewAsyncEngine(toc.AsyncConfig{
+			Workers: *workers, Staleness: *staleness, Seed: *seed,
+			Deterministic: ckpt != nil,
+			Checkpoint:    ckpt, CheckpointEvery: *ckptEvery,
+		})
+	} else if *workers != 1 || ckpt != nil {
+		// Checkpointing runs through the engine even single-threaded:
+		// the engine owns the resumable update schedule.
+		eng = toc.NewEngine(toc.EngineConfig{
+			Workers: *workers, GroupSize: *group, Seed: *seed,
+			Checkpoint: ckpt, CheckpointEvery: *ckptEvery,
+		})
 	}
-	switch {
-	case aeng != nil:
-		if err := aeng.FillStore(store, d, *batchSize); err != nil {
-			log.Fatal(err)
+	if !recovered {
+		switch {
+		case aeng != nil:
+			if err := aeng.FillStore(store, d, *batchSize); err != nil {
+				log.Fatal(err)
+			}
+		case eng != nil:
+			if err := eng.FillStore(store, d, *batchSize); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			for i := 0; i < d.NumBatches(*batchSize); i++ {
+				x, y := d.Batch(i, *batchSize)
+				if err := store.Add(x, y); err != nil {
+					log.Fatal(err)
+				}
+			}
 		}
-	case eng != nil:
-		if err := eng.FillStore(store, d, *batchSize); err != nil {
-			log.Fatal(err)
-		}
-	default:
-		for i := 0; i < d.NumBatches(*batchSize); i++ {
-			x, y := d.Batch(i, *batchSize)
-			if err := store.Add(x, y); err != nil {
+		if manifest != "" {
+			if err := store.WriteManifest(manifest); err != nil {
 				log.Fatal(err)
 			}
 		}
+	}
+
+	// SIGINT/SIGTERM halt the run after the in-flight update: a final
+	// checkpoint is written synchronously, so a later -resume continues
+	// the exact trajectory.
+	if ckpt != nil {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			log.Print("signal received: halting after the in-flight update")
+			if aeng != nil {
+				aeng.Halt()
+			} else if eng != nil {
+				eng.Halt()
+			}
+		}()
 	}
 	st := store.Stats()
 	fmt.Printf("%s %dx%d as %s: %d batches, %d resident (%d KB), %d spilled (%d KB)\n",
@@ -159,6 +273,7 @@ func main() {
 	}
 	var res *toc.TrainResult
 	var pf *toc.Prefetcher
+	halted := false
 	treeBuilds := toc.DecodeTreeBuilds()
 	switch {
 	case aeng != nil:
@@ -174,8 +289,10 @@ func main() {
 		}
 		fmt.Printf("async engine: %d workers, staleness %s, kernel workers %d, prefetch depth %d (byte budget %d)\n",
 			aeng.Workers(), bound, aeng.KernelWorkers(), *prefetch, *prefBytes)
-		res, err = aeng.Train(sm, pf, *epochs, *lr, cb)
-		if err != nil {
+		res, err = aeng.TrainFrom(sm, pf, *epochs, *lr, cb, resumeState)
+		if errors.Is(err, toc.ErrHalted) {
+			halted = true
+		} else if err != nil {
 			log.Fatal(err)
 		}
 		as := aeng.Stats()
@@ -190,7 +307,12 @@ func main() {
 		defer pf.Close()
 		fmt.Printf("engine: %d workers, group %d, kernel workers %d, prefetch depth %d (byte budget %d)\n",
 			eng.Workers(), eng.GroupSize(), eng.KernelWorkers(store.NumBatches()), *prefetch, *prefBytes)
-		res = eng.Train(gm, pf, *epochs, *lr, cb)
+		res, err = eng.TrainFrom(gm, pf, *epochs, *lr, cb, resumeState)
+		if errors.Is(err, toc.ErrHalted) {
+			halted = true
+		} else if err != nil {
+			log.Fatal(err)
+		}
 	default:
 		res = toc.Train(model, store, *epochs, *lr, cb)
 	}
@@ -205,5 +327,14 @@ func main() {
 		ps := pf.Stats()
 		fmt.Printf("prefetch: %d hits, %d misses, %d issued, stall %.1fms\n",
 			ps.Hits, ps.Misses, ps.Prefetched, ps.Stall.Seconds()*1e3)
+	}
+	if crc, ok := paramsCRC(model); ok {
+		fmt.Printf("final params crc32 %08x\n", crc)
+	}
+	if halted {
+		if err := ckpt.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("halted: final checkpoint in %s; rerun with -resume to continue\n", *ckptDir)
 	}
 }

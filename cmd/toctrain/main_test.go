@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// These tests drive the built binary end to end: a SIGTERM mid-run must
+// exit cleanly with a final checkpoint, and a -resume run must land on
+// the bitwise-identical final parameters (compared via the printed
+// params CRC). A delay faultpoint stretches every update so the signal
+// reliably lands mid-training regardless of machine speed.
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "toctrain")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var crcRe = regexp.MustCompile(`final params crc32 ([0-9a-f]{8})`)
+
+func paramsCRCOf(t *testing.T, out string) string {
+	t.Helper()
+	m := crcRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("output has no params CRC line:\n%s", out)
+	}
+	return m[1]
+}
+
+func runToctrain(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("toctrain %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestSigtermHaltsWithCheckpointAndResumeMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildBinary(t)
+	args := []string{
+		"-dataset", "census", "-rows", "1000", "-model", "lr",
+		"-budget", "20000", "-workers", "2", "-group", "2", "-epochs", "4",
+	}
+
+	// Uninterrupted baseline with the same checkpointed configuration.
+	base := runToctrain(t, bin, append(args, "-checkpoint-dir", t.TempDir())...)
+	baseCRC := paramsCRCOf(t, base)
+
+	// Slowed run, killed by SIGTERM mid-training.
+	dir := t.TempDir()
+	cmd := exec.Command(bin, append(args,
+		"-checkpoint-dir", dir, "-faultpoint", "engine.sync.applied=delay:200ms")...)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("signalled run did not exit cleanly: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "halted: final checkpoint") {
+		t.Fatalf("signalled run did not report a final checkpoint:\n%s", buf.String())
+	}
+
+	// Resume must finish the run on the exact baseline trajectory.
+	resumed := runToctrain(t, bin, append(args, "-checkpoint-dir", dir, "-resume")...)
+	if !strings.Contains(resumed, "resuming from checkpoint") {
+		t.Fatalf("resume run did not pick up the checkpoint:\n%s", resumed)
+	}
+	if !strings.Contains(resumed, "recovered spill store") {
+		t.Fatalf("resume run did not recover the store from its manifest:\n%s", resumed)
+	}
+	if got := paramsCRCOf(t, resumed); got != baseCRC {
+		t.Fatalf("resumed params CRC %s, baseline %s (not bitwise identical)", got, baseCRC)
+	}
+}
+
+func TestCrashFaultpointThenResumeMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildBinary(t)
+	args := []string{
+		"-dataset", "census", "-rows", "1000", "-model", "lr",
+		"-budget", "20000", "-workers", "2", "-group", "2", "-epochs", "4",
+	}
+	base := runToctrain(t, bin, append(args, "-checkpoint-dir", t.TempDir())...)
+	baseCRC := paramsCRCOf(t, base)
+
+	dir := t.TempDir()
+	out, err := exec.Command(bin, append(args,
+		"-checkpoint-dir", dir, "-faultpoint", "checkpoint.rename=crash:2")...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("armed crash faultpoint did not kill the run:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !asExitError(err, &ee) || ee.ExitCode() != 7 {
+		t.Fatalf("crash run exited %v, want crash code 7\n%s", err, out)
+	}
+
+	resumed := runToctrain(t, bin, append(args, "-checkpoint-dir", dir, "-resume")...)
+	if got := paramsCRCOf(t, resumed); got != baseCRC {
+		t.Fatalf("resumed params CRC %s, baseline %s (not bitwise identical)", got, baseCRC)
+	}
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}

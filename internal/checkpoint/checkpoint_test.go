@@ -1,0 +1,216 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleState builds a representative snapshot; variant tweaks the
+// fields so distinct samples stay distinct.
+func sampleState(variant int) *State {
+	s := &State{
+		Kind:        KindSync,
+		Seed:        42 + int64(variant),
+		LR:          0.3,
+		Group:       8,
+		NumBatches:  16,
+		Epoch:       2,
+		Pos:         8,
+		PartialLoss: 1.25,
+		EpochLoss:   []float64{0.9, 0.7},
+		Params:      []float64{1, -2.5, math.Pi, 0},
+	}
+	switch variant {
+	case 1:
+		s.Kind = KindAsync
+		s.Shuffle = true
+		s.Deterministic = true
+		s.Group = 0
+		s.Staleness = 4
+		s.Clock = 40
+		s.Archive = [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	case 2:
+		s.Kind = KindAsync
+		s.Staleness = -1
+		s.Clock = 7
+		s.EpochLoss = nil
+		s.Params = nil
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for v := 0; v < 3; v++ {
+		in := sampleState(v)
+		img := Encode(in)
+		out, err := Decode(img)
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("variant %d: round trip mismatch\n in: %+v\nout: %+v", v, in, out)
+		}
+		// Canonical encoding: re-encoding the decoded state reproduces
+		// the image byte for byte.
+		if !bytes.Equal(img, Encode(out)) {
+			t.Fatalf("variant %d: re-encode differs from original image", v)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	img := Encode(sampleState(1))
+	if _, err := Decode(img[:len(img)-1]); err == nil {
+		t.Error("truncated image decoded")
+	}
+	if _, err := Decode(img[:10]); err == nil {
+		t.Error("header-only image decoded")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty image decoded")
+	}
+	// Flip one bit in every byte position; every mutation must be
+	// rejected (CRC or structural check), never silently accepted.
+	for i := range img {
+		mut := append([]byte(nil), img...)
+		mut[i] ^= 0x10
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeClaimedLengths(t *testing.T) {
+	img := Encode(sampleState(0))
+	// Claim ~4 billion params: the length check must fail before any
+	// allocation is attempted.
+	mut := append([]byte(nil), img...)
+	for i := headerLen - 8; i < headerLen-4; i++ {
+		mut[i] = 0xff
+	}
+	if _, err := Decode(mut); err == nil {
+		t.Fatal("image with absurd param count decoded")
+	}
+}
+
+func TestSaveLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	for step, v := range []int{0, 1} {
+		s := sampleState(v)
+		s.Pos = step // distinct Step() values
+		if err := Save(filepath.Join(dir, FileName(s.Step())), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindAsync {
+		t.Fatalf("Latest returned step %d kind %v, want the async variant", got.Step(), got.Kind)
+	}
+	// No checkpoints → os.ErrNotExist.
+	if _, err := Latest(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Latest on empty dir: %v, want not-exist", err)
+	}
+}
+
+func TestLatestFailsLoudlyOnCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	good := sampleState(0)
+	if err := Save(filepath.Join(dir, FileName(good.Step())), good); err != nil {
+		t.Fatal(err)
+	}
+	// A newer, corrupt checkpoint: Latest must error, not fall back.
+	bad := Encode(sampleState(0))
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, FileName(good.Step()+100)), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Latest(dir); err == nil {
+		t.Fatal("Latest returned an older checkpoint instead of failing on the corrupt newest")
+	}
+}
+
+func TestWriterSaveAsyncAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetKeep(2)
+	for i := 0; i < 6; i++ {
+		s := sampleState(0)
+		s.Epoch, s.Pos = 0, i
+		w.SaveAsync(s)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("retained %d files, want 2 (keep)", len(entries))
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != 5 {
+		t.Fatalf("latest pos = %d, want 5", got.Pos)
+	}
+}
+
+func TestWriterCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst of snapshots without an intervening Flush: intermediate
+	// ones may be dropped, but the final Flush must persist the newest.
+	for i := 0; i < 50; i++ {
+		s := sampleState(0)
+		s.Epoch, s.Pos = 1, i
+		w.SaveAsync(s)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != 49 {
+		t.Fatalf("after flush the newest snapshot is pos %d, want 49", got.Pos)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterSynchronousMode(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetSynchronous(true)
+	s := sampleState(0)
+	w.SaveAsync(s)
+	// Synchronous mode: the file exists the moment SaveAsync returns.
+	if _, err := os.Stat(filepath.Join(dir, FileName(s.Step()))); err != nil {
+		t.Fatalf("synchronous SaveAsync did not write immediately: %v", err)
+	}
+}

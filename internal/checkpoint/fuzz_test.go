@@ -1,0 +1,34 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode drives Decode with arbitrary bytes. The safety
+// property is that corrupt input never panics or drives allocation
+// (lengths are validated against the byte count before any section is
+// allocated); the correctness property is that any image Decode accepts
+// is canonical — re-encoding the decoded state reproduces the input
+// byte for byte, so Decode accepts exactly Encode's range.
+func FuzzCheckpointDecode(f *testing.F) {
+	for v := 0; v < 3; v++ {
+		f.Add(Encode(sampleState(v)))
+	}
+	// Corrupt seeds point the fuzzer at the rejection paths.
+	img := Encode(sampleState(1))
+	f.Add(img[:len(img)-3])
+	flip := append([]byte(nil), img...)
+	flip[headerLen-6] ^= 0xff // inflate a claimed length
+	f.Add(flip)
+	f.Add([]byte("TOCK"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if got := Encode(s); !bytes.Equal(got, data) {
+			t.Fatalf("accepted image is not canonical: re-encode differs (%d vs %d bytes)", len(got), len(data))
+		}
+	})
+}

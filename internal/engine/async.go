@@ -2,10 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"toc/internal/checkpoint"
 	"toc/internal/data"
+	"toc/internal/faultpoint"
 	"toc/internal/ml"
 	"toc/internal/storage"
 )
@@ -43,6 +47,11 @@ type Async struct {
 	staleness int
 	seed      int64
 	shuffle   bool
+	det       bool
+	ck        *checkpoint.Writer
+	ckEvery   int
+	onStep    func(step int64, loss float64)
+	halted    atomic.Bool
 
 	// releaseSlack widens the release gate past the staleness bound
 	// without loosening the updater's admission check, forcing the
@@ -74,6 +83,31 @@ type AsyncConfig struct {
 	// Shuffle revisits batches in a fresh seeded permutation every epoch,
 	// using the same permutations as the synchronous engine.
 	Shuffle bool
+
+	// Deterministic switches a bounded Staleness > 0 run to delayed-
+	// gradient SGD: the gradient for position p is always computed
+	// against the archived parameters of version max(0, p−Staleness) —
+	// the oldest version the staleness bound admits — instead of
+	// whatever snapshot is current when a worker picks p up. Every
+	// gradient still respects the bound, but the trajectory becomes a
+	// pure function of (Seed, Staleness), bitwise reproducible for any
+	// worker count and across crash/resume. The updater keeps a ring of
+	// Staleness+1 archived parameter vectors to serve those reads.
+	// Ignored when Staleness <= 0 (0 is already deterministic, unbounded
+	// has no defined delay).
+	Deterministic bool
+
+	// Checkpoint, CheckpointEvery and OnStep mirror Config: snapshots
+	// are captured on the updater goroutine between applied updates and
+	// written off the hot path. Only Deterministic (or Staleness 0) runs
+	// resume bitwise identically; a free-running resume is merely valid.
+	Checkpoint *checkpoint.Writer
+	// CheckpointEvery is the update-count cadence; <= 0 snapshots once
+	// per epoch.
+	CheckpointEvery int
+	// OnStep observes every applied update with its global position
+	// (stable across crash/resume) and admitted mini-batch loss.
+	OnStep func(step int64, loss float64)
 }
 
 // AsyncStats describes one asynchronous training run.
@@ -111,8 +145,22 @@ func NewAsync(cfg AsyncConfig) *Async {
 	if s < 0 {
 		s = StalenessUnbounded
 	}
-	return &Async{workers: w, staleness: s, seed: cfg.Seed, shuffle: cfg.Shuffle}
+	return &Async{
+		workers: w, staleness: s, seed: cfg.Seed, shuffle: cfg.Shuffle,
+		det: cfg.Deterministic && s > 0,
+		ck:  cfg.Checkpoint, ckEvery: cfg.CheckpointEvery, onStep: cfg.OnStep,
+	}
 }
+
+// Deterministic reports whether the engine runs in delayed-gradient
+// mode (see AsyncConfig.Deterministic; always false at staleness <= 0).
+func (a *Async) Deterministic() bool { return a.det }
+
+// Halt asks a running Train/TrainFrom to stop after the update the
+// updater is currently applying: a final checkpoint is written
+// synchronously (when a Writer is configured) and the run returns
+// ErrHalted. Safe to call from any goroutine.
+func (a *Async) Halt() { a.halted.Store(true) }
 
 // Workers returns the pool size.
 func (a *Async) Workers() int { return a.workers }
@@ -218,6 +266,14 @@ type asyncRun struct {
 	clock   int64 // applied updates = next position to apply
 	stopped bool
 
+	// det mode: ring of bound+1 archived parameter vectors; slot
+	// v mod (bound+1) holds version v. Written only by the updater (at
+	// clock publish, under mu); read by workers under mu. The slot of
+	// version v is not overwritten until update v+bound lands, which
+	// cannot happen before every position reading v has submitted its
+	// gradient, so a gated read is always of an intact vector.
+	arch [][]float64
+
 	done chan struct{}
 	once sync.Once
 
@@ -269,6 +325,18 @@ func (r *asyncRun) recoverTo(role string) {
 // the queue is drained, every goroutine joins, and the error is returned
 // alongside the partial result.
 func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback) (*ml.TrainResult, error) {
+	return a.TrainFrom(m, src, epochs, lr, cb, nil)
+}
+
+// TrainFrom is Train with crash/resume support: with a non-nil resume
+// it validates configuration compatibility, restores the parameters,
+// the update clock, the partial epoch loss and (in Deterministic mode)
+// the archived version window, and continues the run. Deterministic and
+// staleness-0 runs resume bitwise identically to an uninterrupted run;
+// free-running resumes are valid but timing-dependent. AsyncStats
+// counts only the updates applied by this call.
+func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback, resume *checkpoint.State) (*ml.TrainResult, error) {
+	a.halted.Store(false)
 	res := &ml.TrainResult{}
 	start := time.Now()
 	n := src.NumBatches()
@@ -284,8 +352,41 @@ func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr flo
 	bound := a.staleness // < 0 = unbounded
 	inflight := a.inflightCap()
 
-	run := &asyncRun{done: make(chan struct{})}
+	startClock := int64(0)
+	var partial float64
+	if resume != nil {
+		if err := a.validateAsyncResume(resume, n, np, lr); err != nil {
+			return nil, err
+		}
+		m.SetParams(resume.Params)
+		res.EpochLoss = append(res.EpochLoss, resume.EpochLoss...)
+		// Wall-clock of pre-crash epochs is gone; zero placeholders keep
+		// EpochTime's epoch indices aligned with EpochLoss.
+		res.EpochTime = make([]time.Duration, len(resume.EpochLoss))
+		startClock, partial = resume.Clock, resume.PartialLoss
+		if startClock >= total {
+			res.Total = time.Since(start)
+			return res, nil
+		}
+	}
+
+	run := &asyncRun{done: make(chan struct{}), clock: startClock}
 	run.cond = sync.NewCond(&run.mu)
+	if a.det {
+		run.arch = make([][]float64, bound+1)
+		for i := range run.arch {
+			run.arch[i] = make([]float64, np)
+		}
+		// The current params are version startClock; a resume restores
+		// the older versions still inside the staleness window.
+		m.Params(run.arch[int(startClock%int64(bound+1))])
+		if resume != nil {
+			for i, vec := range resume.Archive {
+				v := startClock - int64(len(resume.Archive)) + int64(i)
+				copy(run.arch[int(v%int64(bound+1))], vec)
+			}
+		}
+	}
 
 	tasks := make(chan asyncTask, inflight)
 	requeue := make(chan asyncTask, 4)
@@ -305,10 +406,14 @@ func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr flo
 		defer wg.Done()
 		defer close(tasks)
 		order := identityOrder(n)
-		for p := int64(0); p < total; p++ {
+		first := true
+		for p := startClock; p < total; p++ {
 			epoch := int(p / int64(n))
 			pos := int(p % int64(n))
-			if pos == 0 {
+			// first covers a mid-epoch resume: the source still needs
+			// this epoch's permutation even though pos != 0.
+			if pos == 0 || first {
+				first = false
 				if a.shuffle {
 					order = epochPerm(a.seed, epoch, n)
 				}
@@ -373,10 +478,33 @@ func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr flo
 					}
 				}
 				x, y := src.Batch(tk.batch)
-				run.mu.Lock()
-				version := run.clock
-				m.Params(snap)
-				run.mu.Unlock()
+				var version int64
+				if a.det {
+					// Delayed-gradient read: exactly version
+					// max(0, pos−bound) from the archive ring, waiting
+					// out the (test-only) release slack if the version
+					// has not been published yet.
+					target := tk.pos - int64(bound)
+					if target < 0 {
+						target = 0
+					}
+					run.mu.Lock()
+					for run.clock < target && !run.stopped {
+						run.cond.Wait()
+					}
+					if run.stopped {
+						run.mu.Unlock()
+						return
+					}
+					copy(snap, run.arch[int(target%int64(bound+1))])
+					run.mu.Unlock()
+					version = target
+				} else {
+					run.mu.Lock()
+					version = run.clock
+					m.Params(snap)
+					run.mu.Unlock()
+				}
 				clone.SetParams(snap)
 				var g []float64
 				select {
@@ -397,7 +525,7 @@ func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr flo
 	// Updater: the single writer. Applies gradients in position order,
 	// admitting each only if its snapshot is within the staleness bound
 	// of the clock, and rejecting the rest back to the queue.
-	stats := a.runUpdater(run, m, src, res, start, n, total, int64(bound), lr, cb, results, requeue, bufs)
+	stats := a.runUpdater(run, m, src, res, start, n, total, int64(bound), startClock, partial, lr, cb, results, requeue, bufs)
 
 	run.stop(nil) // normal completion, or echo of an abort
 	wg.Wait()
@@ -413,15 +541,45 @@ func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr flo
 // returns the run's staleness accounting. It is the only goroutine that
 // mutates the model.
 func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource, res *ml.TrainResult,
-	start time.Time, n int, total, bound int64, lr float64, cb ml.EpochCallback,
+	start time.Time, n int, total, bound, startClock int64, partial, lr float64, cb ml.EpochCallback,
 	results chan asyncResult, requeue chan asyncTask, bufs chan []float64) AsyncStats {
 
 	defer run.recoverTo("updater")
 	var stats AsyncStats
 	pendingByPos := make(map[int64]asyncResult, cap(results))
 	epochStart := start
-	var epochLoss float64
-	for next := int64(0); next < total; {
+	epochLoss := partial
+	sinceCkpt := 0
+	// snapshot runs on this goroutine between updates: the updater is
+	// the only writer of the model and the archive, so plain reads here
+	// cannot race.
+	snapshot := func(clock int64, partial float64) *checkpoint.State {
+		params := make([]float64, m.NumParams())
+		m.Params(params)
+		st := &checkpoint.State{
+			Kind: checkpoint.KindAsync, Seed: a.seed, LR: lr,
+			Shuffle: a.shuffle, Deterministic: a.det,
+			Staleness: a.staleness, NumBatches: n,
+			Epoch: int(clock / int64(n)), Pos: int(clock % int64(n)),
+			Clock: clock, PartialLoss: partial,
+			EpochLoss: append([]float64(nil), res.EpochLoss...),
+			Params:    params,
+		}
+		if a.det {
+			// The versions still inside the staleness window,
+			// oldest first: max(0, clock−bound) .. clock−1.
+			cnt := bound
+			if clock < cnt {
+				cnt = clock
+			}
+			for v := clock - cnt; v < clock; v++ {
+				st.Archive = append(st.Archive,
+					append([]float64(nil), run.arch[int(v%int64(bound+1))]...))
+			}
+		}
+		return st
+	}
+	for next := startClock; next < total; {
 		var r asyncResult
 		if buffered, ok := pendingByPos[next]; ok {
 			r = buffered
@@ -438,7 +596,18 @@ func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource
 			}
 		}
 		stale := next - r.version
-		if bound >= 0 && stale > bound {
+		reject := bound >= 0 && stale > bound
+		if a.det {
+			// Delayed-gradient admission: the version must be exactly
+			// max(0, next−bound). Workers always compute there, so this
+			// is defensive, like the bound re-check below.
+			expected := next - bound
+			if expected < 0 {
+				expected = 0
+			}
+			reject = r.version != expected
+		}
+		if reject {
 			// The snapshot missed more updates than the bound allows:
 			// refuse it and recompute against current parameters. The
 			// clock cannot advance past this position meanwhile, so the
@@ -457,7 +626,13 @@ func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource
 		}
 		run.mu.Lock()
 		m.ApplyGrad(r.grad, lr)
+		faultpoint.Hit("engine.async.applied")
 		run.clock = next + 1
+		if a.det {
+			// Publish version next+1 into its ring slot before waking
+			// the gated readers.
+			m.Params(run.arch[int((next+1)%int64(bound+1))])
+		}
 		run.cond.Broadcast()
 		run.mu.Unlock()
 		bufs <- r.grad
@@ -466,9 +641,13 @@ func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource
 		if stale > stats.MaxStaleness {
 			stats.MaxStaleness = stale
 		}
+		if a.onStep != nil {
+			a.onStep(next, r.loss)
+		}
 		epochLoss += r.loss
 		next++
-		if next%int64(n) == 0 {
+		boundary := next%int64(n) == 0
+		if boundary {
 			epoch := int(next/int64(n)) - 1
 			loss := epochLoss / float64(n)
 			res.EpochLoss = append(res.EpochLoss, loss)
@@ -479,8 +658,71 @@ func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource
 			epochLoss = 0
 			epochStart = time.Now()
 		}
+		if a.ck != nil {
+			sinceCkpt++
+			if (a.ckEvery > 0 && sinceCkpt >= a.ckEvery) ||
+				(a.ckEvery <= 0 && boundary) || next == total {
+				a.ck.SaveAsync(snapshot(next, epochLoss))
+				sinceCkpt = 0
+			}
+		}
+		if a.halted.Load() && next < total {
+			if a.ck != nil {
+				if err := a.ck.Save(snapshot(next, epochLoss)); err != nil {
+					run.stop(err)
+					return stats
+				}
+			}
+			run.stop(ErrHalted)
+			return stats
+		}
 	}
 	return stats
+}
+
+// validateAsyncResume rejects a checkpoint that was not taken by a run
+// with this exact configuration: resuming it would silently train a
+// different trajectory.
+func (a *Async) validateAsyncResume(st *checkpoint.State, n, np int, lr float64) error {
+	switch {
+	case st.Kind != checkpoint.KindAsync:
+		return fmt.Errorf("engine: checkpoint kind %v, want %v", st.Kind, checkpoint.KindAsync)
+	case st.NumBatches != n:
+		return fmt.Errorf("engine: checkpoint has %d batches, source has %d", st.NumBatches, n)
+	case st.Seed != a.seed:
+		return fmt.Errorf("engine: checkpoint seed %d, engine uses %d", st.Seed, a.seed)
+	case st.Shuffle != a.shuffle:
+		return fmt.Errorf("engine: checkpoint shuffle=%v, engine uses %v", st.Shuffle, a.shuffle)
+	case st.Staleness != a.staleness:
+		return fmt.Errorf("engine: checkpoint staleness %d, engine uses %d", st.Staleness, a.staleness)
+	case st.Deterministic != a.det:
+		return fmt.Errorf("engine: checkpoint deterministic=%v, engine uses %v", st.Deterministic, a.det)
+	case math.Float64bits(st.LR) != math.Float64bits(lr):
+		return fmt.Errorf("engine: checkpoint learning rate %v, run uses %v", st.LR, lr)
+	case len(st.Params) != np:
+		return fmt.Errorf("engine: checkpoint has %d params, model has %d", len(st.Params), np)
+	case st.Clock < 0:
+		return fmt.Errorf("engine: checkpoint clock %d out of range", st.Clock)
+	case n > 0 && len(st.EpochLoss) != int(st.Clock/int64(n)):
+		return fmt.Errorf("engine: checkpoint has %d epoch losses at clock %d", len(st.EpochLoss), st.Clock)
+	}
+	if a.det {
+		want := int64(a.staleness)
+		if st.Clock < want {
+			want = st.Clock
+		}
+		if int64(len(st.Archive)) != want {
+			return fmt.Errorf("engine: checkpoint archives %d versions, want %d", len(st.Archive), want)
+		}
+		for i, vec := range st.Archive {
+			if len(vec) != np {
+				return fmt.Errorf("engine: archived version %d has %d params, model has %d", i, len(vec), np)
+			}
+		}
+	} else if len(st.Archive) != 0 {
+		return fmt.Errorf("engine: checkpoint archives %d versions but the engine is not deterministic", len(st.Archive))
+	}
+	return nil
 }
 
 // identityOrder is the in-order visit sequence used when Shuffle is off.

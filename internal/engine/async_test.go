@@ -2,7 +2,6 @@ package engine
 
 import (
 	"math"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"toc/internal/formats"
 	"toc/internal/ml"
 	"toc/internal/storage"
+	"toc/internal/testutil"
 )
 
 func newSnapshotModel(t testing.TB, name string, d *data.Dataset, seed int64) ml.SnapshotModel {
@@ -208,8 +208,8 @@ func (p *panicGradModel) Clone() ml.SnapshotModel {
 // error instead of crashing, and the whole pool (workers, releaser)
 // drains — no goroutine leaks, no deadlock on the gated queue.
 func TestAsyncWorkerPanicDrainsPool(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	d, src := testSource(t, "census", 500)
-	before := runtime.NumGoroutine()
 
 	var calls int64
 	m := &panicGradModel{SnapshotModel: newSnapshotModel(t, "lr", d, 7), calls: &calls, after: 5}
@@ -227,22 +227,14 @@ func TestAsyncWorkerPanicDrainsPool(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("Train did not return after a worker panic (pool not drained)")
 	}
-
-	// The pool should drain promptly; poll briefly to let exits land.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked after abort: %d before, %d after", before, runtime.NumGoroutine())
+	// testutil.CheckGoroutineLeak's cleanup asserts the pool drained.
 }
 
 // Exercised under -race in CI: asynchronous training over a spilled store
 // behind the prefetcher, with shuffled epochs — the queue announces each
 // epoch's permutation so the window stays aimed.
 func TestAsyncOverPrefetchedSpilledStore(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	d, err := data.Generate("census", 500, 3)
 	if err != nil {
 		t.Fatal(err)

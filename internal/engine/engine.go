@@ -25,18 +25,29 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"toc/internal/checkpoint"
 	"toc/internal/data"
+	"toc/internal/faultpoint"
 	"toc/internal/formats"
 	"toc/internal/matrix"
 	"toc/internal/ml"
 	"toc/internal/storage"
 )
+
+// ErrHalted is returned by TrainFrom when Halt interrupted the run: the
+// partial result is valid, a final checkpoint (if a Writer is
+// configured) has been written synchronously, and resuming from it
+// continues the exact trajectory.
+var ErrHalted = errors.New("engine: halted before completion")
 
 // DefaultGroupSize is the number of mini-batch gradients merged per
 // parameter update when Config.GroupSize is unset. It is deliberately
@@ -59,6 +70,22 @@ type Config struct {
 	// scan in order, which also keeps the spill prefetcher's predictions
 	// trivially right.
 	Shuffle bool
+
+	// Checkpoint, when non-nil, snapshots the run into the writer's
+	// directory so a crash (or Halt) can resume the exact trajectory.
+	// The snapshot is captured between updates (workers idle, params
+	// frozen) and serialized/written off the hot path by the writer's
+	// background goroutine. Requires the model to be an
+	// ml.SnapshotModel.
+	Checkpoint *checkpoint.Writer
+	// CheckpointEvery is the update-count cadence between snapshots;
+	// <= 0 snapshots once per epoch.
+	CheckpointEvery int
+	// OnStep, when non-nil, observes every applied update: step is the
+	// global update index from the run's origin (stable across
+	// crash/resume) and loss is the update's summed mini-batch loss.
+	// The identity tests compare these sequences bitwise.
+	OnStep func(step int64, loss float64)
 }
 
 // Engine executes training and compression work over a bounded pool.
@@ -67,6 +94,10 @@ type Engine struct {
 	group   int
 	seed    int64
 	shuffle bool
+	ck      *checkpoint.Writer
+	ckEvery int
+	onStep  func(step int64, loss float64)
+	halted  atomic.Bool
 }
 
 // defaultWorkers is the pool size when a config leaves Workers unset.
@@ -82,8 +113,17 @@ func New(cfg Config) *Engine {
 	if g <= 0 {
 		g = DefaultGroupSize
 	}
-	return &Engine{workers: w, group: g, seed: cfg.Seed, shuffle: cfg.Shuffle}
+	return &Engine{
+		workers: w, group: g, seed: cfg.Seed, shuffle: cfg.Shuffle,
+		ck: cfg.Checkpoint, ckEvery: cfg.CheckpointEvery, onStep: cfg.OnStep,
+	}
 }
+
+// Halt asks a running Train/TrainFrom to stop after the update it is
+// currently applying. The run writes a final checkpoint synchronously
+// (when a Writer is configured) and returns ErrHalted. Safe to call
+// from any goroutine, e.g. a signal handler.
+func (e *Engine) Halt() { e.halted.Store(true) }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
@@ -161,7 +201,27 @@ func (e *Engine) NewPrefetcher(st *storage.Store, depth int, maxBytes int64) *st
 // next GroupSize batch gradients out over the worker pool and applies
 // their deterministic merge. The result is reproducible for a fixed
 // (Seed, GroupSize) regardless of Workers. cb may be nil.
+//
+// Train panics on a configuration error (a Checkpoint writer with a
+// model that is not an ml.SnapshotModel) and swallows ErrHalted,
+// returning the partial result; use TrainFrom for the error-aware form.
 func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback) *ml.TrainResult {
+	res, err := e.TrainFrom(m, src, epochs, lr, cb, nil)
+	if err != nil && !errors.Is(err, ErrHalted) {
+		panic(err)
+	}
+	return res
+}
+
+// TrainFrom is Train with crash/resume support. With resume nil it
+// starts fresh; otherwise it validates that the checkpoint was taken by
+// a compatible run (same kind, seed, shuffle, group size, batch count,
+// learning-rate bits and parameter dimension), restores the model
+// parameters and the exact epoch/position/partial-loss cursor, and
+// continues the trajectory: the completed run is bitwise identical to
+// one that was never interrupted.
+func (e *Engine) TrainFrom(m ml.GradModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback, resume *checkpoint.State) (*ml.TrainResult, error) {
+	e.halted.Store(false)
 	res := &ml.TrainResult{}
 	start := time.Now()
 	n := src.NumBatches()
@@ -170,6 +230,61 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 	if group > n && n > 0 {
 		group = n
 	}
+
+	var sm ml.SnapshotModel
+	if e.ck != nil || resume != nil {
+		var ok bool
+		if sm, ok = m.(ml.SnapshotModel); !ok {
+			return nil, fmt.Errorf("engine: checkpoint/resume needs an ml.SnapshotModel, %T is not one", m)
+		}
+	}
+	startEpoch, startPos := 0, 0
+	var partial float64
+	if resume != nil {
+		if err := e.validateSyncResume(resume, n, np, group, lr); err != nil {
+			return nil, err
+		}
+		sm.SetParams(resume.Params)
+		res.EpochLoss = append(res.EpochLoss, resume.EpochLoss...)
+		// Wall-clock of pre-crash epochs is gone; zero placeholders keep
+		// the epoch indices of EpochTime aligned with EpochLoss.
+		res.EpochTime = make([]time.Duration, len(resume.EpochLoss))
+		startEpoch, startPos, partial = resume.Epoch, resume.Pos, resume.PartialLoss
+		if startEpoch >= epochs {
+			res.Total = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// snapshot captures the run between updates — workers are idle and
+	// the params frozen — so reading the model here needs no locking.
+	snapshot := func(epoch, pos int, partial float64) *checkpoint.State {
+		params := make([]float64, np)
+		sm.Params(params)
+		return &checkpoint.State{
+			Kind: checkpoint.KindSync, Seed: e.seed, LR: lr,
+			Shuffle: e.shuffle, Group: group, NumBatches: n,
+			Epoch: epoch, Pos: pos, PartialLoss: partial,
+			EpochLoss: append([]float64(nil), res.EpochLoss...),
+			Params:    params,
+		}
+	}
+	// saveFinal is the Halt path: write synchronously so the checkpoint
+	// is durable before TrainFrom returns.
+	saveFinal := func(epoch, pos int, partial float64) error {
+		if e.ck == nil {
+			return nil
+		}
+		return e.ck.Save(snapshot(epoch, pos, partial))
+	}
+
+	// step is the global update index from the run's origin, not the
+	// resume point, so OnStep sequences line up across crash/resume.
+	// startPos is a multiple of group (validated above), so the division
+	// is exact.
+	updatesPerEpoch := (n + group - 1) / group
+	step := int64(startEpoch)*int64(updatesPerEpoch) + int64(startPos/group)
+	sinceCkpt := 0
 	// Split the pool between batch-level and kernel-level parallelism: the
 	// group's in-flight gradients claim workers first, and any leftover
 	// goroutines shard the kernels inside each gradient — both the
@@ -211,10 +326,13 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 	for i := range order {
 		order[i] = i
 	}
-	for epoch := 0; epoch < epochs; epoch++ {
+	for epoch := startEpoch; epoch < epochs; epoch++ {
 		if e.shuffle {
 			copy(order, epochPerm(e.seed, epoch, n))
 		}
+		// Announced unconditionally — also when resuming mid-epoch
+		// (startPos > 0), where the source still needs this epoch's
+		// permutation even though the epoch did not start at position 0.
 		if os, ok := src.(OrderedSource); ok {
 			os.SetOrder(order)
 			// With Shuffle on, the source's wrap-around window would
@@ -227,7 +345,11 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 		}
 		epochStart := time.Now()
 		var loss float64
-		for lo := 0; lo < n; lo += group {
+		lo0 := 0
+		if epoch == startEpoch {
+			lo0, loss = startPos, partial
+		}
+		for lo := lo0; lo < n; lo += group {
 			hi := lo + group
 			if hi > n {
 				hi = n
@@ -243,18 +365,39 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 			for j := range merged {
 				merged[j] = 0
 			}
+			var stepLoss float64
 			for s := 0; s < cnt; s++ {
 				gs := grads[s]
 				for j, v := range gs {
 					merged[j] += v
 				}
-				loss += losses[s]
+				stepLoss += losses[s]
 			}
+			loss += stepLoss
 			inv := 1 / float64(cnt)
 			for j := range merged {
 				merged[j] *= inv
 			}
 			m.ApplyGrad(merged, lr)
+			faultpoint.Hit("engine.sync.applied")
+			if e.onStep != nil {
+				e.onStep(step, stepLoss)
+			}
+			step++
+			sinceCkpt++
+			if hi < n {
+				if e.ck != nil && e.ckEvery > 0 && sinceCkpt >= e.ckEvery {
+					e.ck.SaveAsync(snapshot(epoch, hi, loss))
+					sinceCkpt = 0
+				}
+				if e.halted.Load() {
+					if err := saveFinal(epoch, hi, loss); err != nil {
+						return res, err
+					}
+					res.Total = time.Since(start)
+					return res, ErrHalted
+				}
+			}
 		}
 		if n > 0 {
 			loss /= float64(n)
@@ -264,9 +407,49 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 		if cb != nil {
 			cb(epoch, time.Since(start), loss)
 		}
+		if e.ck != nil && (e.ckEvery <= 0 || sinceCkpt >= e.ckEvery || epoch+1 == epochs) {
+			e.ck.SaveAsync(snapshot(epoch+1, 0, 0))
+			sinceCkpt = 0
+		}
+		if e.halted.Load() && epoch+1 < epochs {
+			if err := saveFinal(epoch+1, 0, 0); err != nil {
+				return res, err
+			}
+			res.Total = time.Since(start)
+			return res, ErrHalted
+		}
 	}
 	res.Total = time.Since(start)
-	return res
+	return res, nil
+}
+
+// validateSyncResume rejects a checkpoint that was not taken by a run
+// with this exact configuration — resuming it would produce a silently
+// different trajectory, which is worse than an error.
+func (e *Engine) validateSyncResume(st *checkpoint.State, n, np, group int, lr float64) error {
+	switch {
+	case st.Kind != checkpoint.KindSync:
+		return fmt.Errorf("engine: checkpoint kind %v, want %v", st.Kind, checkpoint.KindSync)
+	case st.NumBatches != n:
+		return fmt.Errorf("engine: checkpoint has %d batches, source has %d", st.NumBatches, n)
+	case st.Group != group:
+		return fmt.Errorf("engine: checkpoint group size %d, engine uses %d", st.Group, group)
+	case st.Seed != e.seed:
+		return fmt.Errorf("engine: checkpoint seed %d, engine uses %d", st.Seed, e.seed)
+	case st.Shuffle != e.shuffle:
+		return fmt.Errorf("engine: checkpoint shuffle=%v, engine uses %v", st.Shuffle, e.shuffle)
+	case math.Float64bits(st.LR) != math.Float64bits(lr):
+		return fmt.Errorf("engine: checkpoint learning rate %v, run uses %v", st.LR, lr)
+	case len(st.Params) != np:
+		return fmt.Errorf("engine: checkpoint has %d params, model has %d", len(st.Params), np)
+	case st.Epoch < 0 || st.Pos < 0 || st.Pos >= n && st.Pos != 0:
+		return fmt.Errorf("engine: checkpoint cursor epoch=%d pos=%d out of range", st.Epoch, st.Pos)
+	case group > 0 && st.Pos%group != 0:
+		return fmt.Errorf("engine: checkpoint position %d is not a group-step boundary (group %d)", st.Pos, group)
+	case len(st.EpochLoss) != st.Epoch:
+		return fmt.Errorf("engine: checkpoint has %d epoch losses at epoch %d", len(st.EpochLoss), st.Epoch)
+	}
+	return nil
 }
 
 // EncodeAll compresses dense mini-batches across the worker pool,

@@ -11,6 +11,7 @@ import (
 	"toc/internal/matrix"
 	"toc/internal/ml"
 	"toc/internal/storage"
+	"toc/internal/testutil"
 )
 
 func testSource(t testing.TB, name string, rows int) (*data.Dataset, *ml.MemorySource) {
@@ -126,6 +127,7 @@ func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
 // Exercised under -race in CI: eight workers training over a spilled store
 // behind the async prefetcher.
 func TestEngineConcurrentOverPrefetchedStore(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	d, err := data.Generate("census", 500, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,209 @@
+// Package faultpoint is the fault-injection layer behind the repo's
+// crash/resume identity tests: named points in the storage and engine
+// code (spill writes, checkpoint renames, the gap between a parameter
+// update and its clock publish) call Hit, and a test — or the toctrain
+// -faultpoint debug flag — arms an action at a point to kill, delay or
+// fail the process exactly there.
+//
+// Disarmed (the production state) a Hit is one atomic load; no
+// registration, no allocation, no lock. Armed actions:
+//
+//   - crash: terminate the process immediately with CrashExitCode, the
+//     moral equivalent of kill -9 at that line — no deferred cleanup
+//     runs, which is the point: recovery must cope with whatever a real
+//     crash leaves behind (a half-written spill span, an orphaned
+//     checkpoint temp file).
+//   - delay: sleep for a duration, stretching the window between two
+//     events so a racing signal or writer lands inside it.
+//
+// An action fires on the Nth Hit of its point (N = 1 fires on the
+// first), so a test can let two spill writes succeed and kill the third.
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CrashExitCode is the status a crash action exits with; tests assert on
+// it to distinguish an injected kill from an ordinary failure.
+const CrashExitCode = 7
+
+// EnvVar names the environment variable ArmFromEnv reads; subprocess
+// tests use it to arm points in a child they are about to sacrifice.
+const EnvVar = "TOC_FAULTPOINTS"
+
+// Action is what an armed point does when its hit count is reached.
+type Action int
+
+const (
+	// Crash exits the process with CrashExitCode, skipping all deferred
+	// cleanup — a simulated kill -9.
+	Crash Action = iota
+	// Delay sleeps for the armed duration on every hit at or past the
+	// threshold, stretching the window the point sits in.
+	Delay
+)
+
+// point is one armed fault.
+type point struct {
+	action Action
+	after  int64 // fire on the Nth hit (1-based)
+	delay  time.Duration
+	hits   int64
+}
+
+var (
+	// armedAny short-circuits Hit when nothing is armed, keeping the
+	// production cost of an instrumented line to one atomic load.
+	armedAny atomic.Bool
+
+	mu     sync.Mutex
+	points map[string]*point
+
+	// exit is swapped out by unit tests that need to observe a crash
+	// without dying; everything else really exits.
+	exit = os.Exit
+)
+
+// Arm installs an action at a named point, firing on the Nth hit
+// (after <= 0 means the first). Delay actions use d; crash actions
+// ignore it. Re-arming a point resets its hit count.
+func Arm(name string, action Action, after int, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if after <= 0 {
+		after = 1
+	}
+	points[name] = &point{action: action, after: int64(after), delay: d}
+	armedAny.Store(true)
+}
+
+// Reset disarms every point. Tests that arm in-process must Reset on
+// cleanup or later tests inherit the faults.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armedAny.Store(false)
+}
+
+// Armed reports whether the named point currently has an action
+// installed (fired or not). Instrumented code may branch on it to set up
+// a more adversarial path — e.g. splitting one write in two so a crash
+// can land between the halves — that would be pointless in production.
+func Armed(name string) bool {
+	if !armedAny.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := points[name]
+	return ok
+}
+
+// Hit marks execution passing the named point. Disarmed points (and the
+// whole registry when nothing is armed) are no-ops.
+func Hit(name string) {
+	if !armedAny.Load() {
+		return
+	}
+	mu.Lock()
+	p := points[name]
+	var fire bool
+	var action Action
+	var d time.Duration
+	if p != nil {
+		p.hits++
+		fire = p.hits >= p.after
+		action = p.action
+		d = p.delay
+	}
+	mu.Unlock()
+	if !fire {
+		return
+	}
+	switch action {
+	case Crash:
+		exit(CrashExitCode)
+	case Delay:
+		time.Sleep(d)
+	}
+}
+
+// ArmSpec arms points from a comma-separated spec, the grammar the
+// toctrain -faultpoint flag and the EnvVar variable share:
+//
+//	name=crash          crash on the first hit
+//	name=crash:3        crash on the third hit
+//	name=delay:50ms     sleep 50ms on every hit
+//	name=delay:50ms:2   sleep 50ms from the second hit on
+//
+// An empty spec arms nothing and is not an error.
+func ArmSpec(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultpoint: bad spec entry %q (want name=action[:arg[:afterN]])", part)
+		}
+		fields := strings.Split(rest, ":")
+		switch fields[0] {
+		case "crash":
+			after := 1
+			if len(fields) > 2 {
+				return fmt.Errorf("faultpoint: bad crash spec %q", part)
+			}
+			if len(fields) == 2 {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return fmt.Errorf("faultpoint: bad crash hit count in %q: %v", part, err)
+				}
+				after = n
+			}
+			Arm(name, Crash, after, 0)
+		case "delay":
+			if len(fields) < 2 || len(fields) > 3 {
+				return fmt.Errorf("faultpoint: bad delay spec %q (want name=delay:dur[:afterN])", part)
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad delay duration in %q: %v", part, err)
+			}
+			after := 1
+			if len(fields) == 3 {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return fmt.Errorf("faultpoint: bad delay hit count in %q: %v", part, err)
+				}
+				after = n
+			}
+			Arm(name, Delay, after, d)
+		default:
+			return fmt.Errorf("faultpoint: unknown action %q in %q", fields[0], part)
+		}
+	}
+	return nil
+}
+
+// ArmFromEnv arms points from the EnvVar spec, for subprocesses that
+// cannot be reached by an in-process Arm. An unset variable arms
+// nothing.
+func ArmFromEnv() error {
+	return ArmSpec(os.Getenv(EnvVar))
+}

@@ -1,0 +1,96 @@
+package faultpoint
+
+import (
+	"testing"
+	"time"
+)
+
+// captureExit swaps the process-exit hook for a recorder, restoring it
+// (and the registry) on cleanup.
+func captureExit(t *testing.T) *[]int {
+	t.Helper()
+	old := exit
+	var codes []int
+	exit = func(code int) { codes = append(codes, code) }
+	t.Cleanup(func() {
+		exit = old
+		Reset()
+	})
+	return &codes
+}
+
+func TestDisarmedHitIsNoop(t *testing.T) {
+	Reset()
+	Hit("nothing.armed.here") // must not panic, block, or exit
+	if Armed("nothing.armed.here") {
+		t.Fatal("unarmed point reported armed")
+	}
+}
+
+func TestCrashFiresOnNthHit(t *testing.T) {
+	codes := captureExit(t)
+	Arm("p", Crash, 3, 0)
+	Hit("p")
+	Hit("p")
+	if len(*codes) != 0 {
+		t.Fatalf("crash fired before the configured hit: %v", *codes)
+	}
+	Hit("p")
+	if len(*codes) != 1 || (*codes)[0] != CrashExitCode {
+		t.Fatalf("crash exit codes = %v, want [%d]", *codes, CrashExitCode)
+	}
+}
+
+func TestDelayFires(t *testing.T) {
+	defer Reset()
+	Arm("d", Delay, 1, 30*time.Millisecond)
+	start := time.Now()
+	Hit("d")
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delay point slept only %v", elapsed)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	codes := captureExit(t)
+	Arm("p", Crash, 1, 0)
+	Reset()
+	Hit("p")
+	if len(*codes) != 0 {
+		t.Fatalf("hit after Reset fired: %v", *codes)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	codes := captureExit(t)
+	if err := ArmSpec("a=crash:2, b=delay:1ms, c=crash"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed("a") || !Armed("b") || !Armed("c") {
+		t.Fatal("spec did not arm all points")
+	}
+	Hit("c")
+	if len(*codes) != 1 {
+		t.Fatalf("c=crash did not fire on first hit: %v", *codes)
+	}
+	Hit("a")
+	if len(*codes) != 1 {
+		t.Fatal("a=crash:2 fired on first hit")
+	}
+	Hit("a")
+	if len(*codes) != 2 {
+		t.Fatal("a=crash:2 did not fire on second hit")
+	}
+}
+
+func TestArmSpecEmptyAndErrors(t *testing.T) {
+	defer Reset()
+	if err := ArmSpec(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{"noequals", "=crash", "p=explode", "p=crash:x", "p=delay", "p=delay:zzz"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("spec %q: want error, got nil", bad)
+		}
+	}
+}

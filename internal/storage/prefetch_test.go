@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"toc/internal/matrix"
+	"toc/internal/testutil"
 )
 
 // spilledStore builds a store of n 4-row batches that all spill to disk.
@@ -101,6 +102,7 @@ func TestPrefetcherFollowsSetOrder(t *testing.T) {
 
 // Concurrent Batch calls (the engine's group fan-out) stay correct.
 func TestPrefetcherConcurrentReads(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const n = 16
 	st := spilledStore(t, n)
 	pf := NewPrefetcher(st, 6, 3)
@@ -168,6 +170,7 @@ func TestPrefetcherDuplicateInFlightShared(t *testing.T) {
 // -race in CI): every request must be answered correctly and counted as
 // exactly one hit or miss.
 func TestPrefetcherDuplicateIndexHammer(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const n, goroutines, rounds = 10, 16, 8
 	st := spilledStore(t, n)
 	pf := NewPrefetcher(st, 4, 3)
@@ -234,6 +237,7 @@ func TestPrefetcherWindowCrossesBoundaryIntoNextOrder(t *testing.T) {
 // A sequential scan over a sharded store behind the per-shard readers
 // stays all-hits: every shard's queue is serviced concurrently.
 func TestPrefetcherShardedSequentialScanAllHits(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const n = 12
 	st, err := NewStore(t.TempDir(), "TOC", 1, WithShards(3))
 	if err != nil {

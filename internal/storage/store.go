@@ -20,15 +20,21 @@ package storage
 
 import (
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"toc/internal/faultpoint"
 	"toc/internal/formats"
 	"toc/internal/matrix"
 )
+
+// spanTable is the CRC-32C polynomial table guarding every spilled
+// span; the same polynomial the checkpoint and manifest formats use.
+var spanTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Stats describes a store's layout and accumulated IO activity.
 type Stats struct {
@@ -48,11 +54,15 @@ type Stats struct {
 	ReadTime time.Duration
 }
 
-// span locates one spilled batch inside a shard's spill file.
+// span locates one spilled batch inside a shard's spill file. crc is
+// the CRC-32C of the serialized bytes, computed at spill time and
+// verified on every read: a flipped bit on disk fails loudly instead of
+// feeding the wire decoder silently wrong data.
 type span struct {
 	shard  int
 	off    int64
 	length int64
+	crc    uint32
 }
 
 // shard is one spill file. In the SharedBucket model it services one
@@ -85,6 +95,18 @@ type Store struct {
 	labels   [][]float64
 	spans    []span  // zero length for resident batches
 	sizes    []int64 // compressed size per batch (policy input)
+
+	// resSpans holds the backup spans WriteManifest appends for
+	// resident batches so a restarted process can rebuild them from the
+	// shard files. They are accounted separately from the spill spans —
+	// a resident batch's backup is crash insurance, not a spill, so it
+	// never shows up in the spill stats or the placement balance.
+	resSpans []span
+
+	// persist marks a store whose shard files back a written manifest
+	// (WriteManifest, or a store reopened by OpenStore): Close keeps the
+	// files on disk so a restarted process can recover from them.
+	persist bool
 
 	// mu guards the stats and the disk-model configuration (bandwidth,
 	// model, latency) under concurrent Batch calls; SetReadBandwidth et
@@ -395,7 +417,24 @@ func (s *Store) spill(img []byte) (span, error) {
 			best = i
 		}
 	}
-	sh := s.shards[best]
+	sp, err := s.writeSpan(best, img)
+	if err != nil {
+		return span{}, err
+	}
+	s.shards[best].bytes += sp.length
+	return sp, nil
+}
+
+// writeSpan appends one serialized batch image to shard idx's file
+// (created lazily) and returns its CRC-tagged span. It advances wpos
+// but not the spill-balance accounting — spill() charges that, while
+// WriteManifest's resident backups deliberately do not.
+//
+// When the storage.spill.mid faultpoint is armed the write is split in
+// two so an injected crash lands between the halves, leaving a torn
+// span on disk the way a real mid-write kill would.
+func (s *Store) writeSpan(idx int, img []byte) (span, error) {
+	sh := s.shards[idx]
 	if sh.file == nil {
 		f, err := os.CreateTemp(sh.dir, "toc-spill-"+filepath.Base(s.method)+"-*.bin")
 		if err != nil {
@@ -403,12 +442,20 @@ func (s *Store) spill(img []byte) (span, error) {
 		}
 		sh.file = f
 	}
-	if _, err := sh.file.WriteAt(img, sh.wpos); err != nil {
+	if faultpoint.Armed("storage.spill.mid") && len(img) > 1 {
+		half := len(img) / 2
+		if _, err := sh.file.WriteAt(img[:half], sh.wpos); err != nil {
+			return span{}, fmt.Errorf("storage: spill write: %w", err)
+		}
+		faultpoint.Hit("storage.spill.mid")
+		if _, err := sh.file.WriteAt(img[half:], sh.wpos+int64(half)); err != nil {
+			return span{}, fmt.Errorf("storage: spill write: %w", err)
+		}
+	} else if _, err := sh.file.WriteAt(img, sh.wpos); err != nil {
 		return span{}, fmt.Errorf("storage: spill write: %w", err)
 	}
-	sp := span{shard: best, off: sh.wpos, length: int64(len(img))}
+	sp := span{shard: idx, off: sh.wpos, length: int64(len(img)), crc: crc32.Checksum(img, spanTable)}
 	sh.wpos += int64(len(img))
-	sh.bytes += int64(len(img))
 	return sp, nil
 }
 
@@ -477,6 +524,9 @@ func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
 			time.Sleep(want - spent)
 		}
 	}
+	if got := crc32.Checksum(buf, spanTable); got != sp.crc {
+		panic(fmt.Sprintf("storage: spilled batch %d failed CRC (stored %08x, read %08x): corrupt shard file", i, sp.crc, got))
+	}
 	c, err := s.codec.Decode(buf)
 	if err != nil {
 		panic(fmt.Sprintf("storage: decode spilled batch %d: %v", i, err))
@@ -510,8 +560,11 @@ func (s *Store) Spilled() bool {
 	return s.stats.SpilledBatches > 0
 }
 
-// Close removes every shard's spill file; a fully-resident store has none
-// and closes trivially.
+// Close closes every shard's spill file; a fully-resident store has
+// none and closes trivially. Stores without a written manifest remove
+// their files (spill data is worthless without the layout); once
+// WriteManifest has persisted the layout — or the store was reopened by
+// OpenStore — the files are kept so a restarted process can recover.
 func (s *Store) Close() error {
 	var firstErr error
 	for _, sh := range s.shards {
@@ -522,8 +575,10 @@ func (s *Store) Close() error {
 		if err := sh.file.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		if err := os.Remove(name); err != nil && firstErr == nil {
-			firstErr = err
+		if !s.persist {
+			if err := os.Remove(name); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 		sh.file = nil
 	}

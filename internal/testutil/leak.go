@@ -1,0 +1,37 @@
+// Package testutil holds helpers shared by the repo's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the goroutine count when called and
+// registers a cleanup that fails the test if the count has not returned
+// to within slack of the snapshot shortly after the test body finishes.
+// Call it first thing in any test that spins up worker pools,
+// prefetchers, background writers or training engines: a pool that
+// doesn't drain is a bug even when the test's assertions pass.
+//
+// The check polls for up to five seconds before failing — goroutine
+// exits land asynchronously — and allows a slack of two to tolerate
+// runtime housekeeping goroutines coming and going.
+func CheckGoroutineLeak(t testing.TB) {
+	t.Helper()
+	const slack = 2
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+slack {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before test, %d after; stacks:\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}

@@ -27,9 +27,11 @@ package toc
 import (
 	"time"
 
+	"toc/internal/checkpoint"
 	"toc/internal/core"
 	"toc/internal/data"
 	"toc/internal/engine"
+	"toc/internal/faultpoint"
 	"toc/internal/formats"
 	"toc/internal/matrix"
 	"toc/internal/ml"
@@ -360,3 +362,48 @@ func WithPrefetchBytes(maxBytes int64) PrefetchOption {
 func NewPrefetcher(s *Store, depth, readers int, opts ...PrefetchOption) *Prefetcher {
 	return storage.NewPrefetcher(s, depth, readers, opts...)
 }
+
+// ---- Fault tolerance: checkpoint/resume and crash-safe spill recovery ----
+
+// CheckpointState is one versioned, CRC-guarded training snapshot: model
+// parameters, optimizer schedule position, epoch permutation cursor and
+// (async) update clock plus staleness frontier. A run resumed from it
+// reproduces the uninterrupted run's trajectory bitwise for every
+// deterministic configuration (sync engine, async staleness 0, async
+// Deterministic mode).
+type CheckpointState = checkpoint.State
+
+// CheckpointWriter persists snapshots into a directory — atomically
+// (temp file, fsync, rename) and off the training hot path on a
+// background goroutine that coalesces bursts.
+type CheckpointWriter = checkpoint.Writer
+
+// NewCheckpointWriter opens (creating if needed) a checkpoint directory.
+// Hand the writer to EngineConfig.Checkpoint or AsyncConfig.Checkpoint.
+func NewCheckpointWriter(dir string) (*CheckpointWriter, error) { return checkpoint.NewWriter(dir) }
+
+// LatestCheckpoint loads the newest checkpoint in dir. A corrupt newest
+// checkpoint is an error — never a silent fallback to an older one. When
+// dir holds no checkpoints the error wraps os.ErrNotExist.
+func LatestCheckpoint(dir string) (*CheckpointState, error) { return checkpoint.Latest(dir) }
+
+// LoadCheckpoint loads one checkpoint file, verifying its CRC.
+func LoadCheckpoint(path string) (*CheckpointState, error) { return checkpoint.Load(path) }
+
+// ErrHalted is returned by the engines' TrainFrom when Halt stopped the
+// run after writing a final checkpoint.
+var ErrHalted = engine.ErrHalted
+
+// OpenStore recovers a spill store from the manifest WriteManifest
+// wrote: shard files are reopened read-only, every spilled span is
+// CRC-verified, and resident batches are decoded back into memory — no
+// re-ingest. Truncated or bit-flipped shard files fail loudly here.
+func OpenStore(manifestPath string, opts ...StoreOption) (*Store, error) {
+	return storage.OpenStore(manifestPath, opts...)
+}
+
+// ArmFaultpoints arms the fault-injection registry from a spec like
+// "checkpoint.rename=crash:2,storage.spill.mid=delay:5ms" — the test
+// hook behind the crash-matrix suite, also reachable via the
+// TOC_FAULTPOINTS environment variable. No-op cost when disarmed.
+func ArmFaultpoints(spec string) error { return faultpoint.ArmSpec(spec) }
