@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"toc/internal/bench"
 )
 
 // baseline is one committed BENCH_<experiment>.json.
@@ -183,6 +185,53 @@ func baselinePath(dir, experiment string) string {
 	return filepath.Join(dir, "BENCH_"+experiment+".json")
 }
 
+// staleBaselines returns the experiments among the baseline file names
+// that the registry no longer knows — committed BENCH_*.json files whose
+// regime was renamed or removed from internal/bench. names are base
+// names; known is the registered-experiment set.
+func staleBaselines(names []string, known map[string]bool) []string {
+	var stale []string
+	for _, name := range names {
+		exp, ok := strings.CutPrefix(name, "BENCH_")
+		if !ok {
+			continue
+		}
+		exp, ok = strings.CutSuffix(exp, ".json")
+		if !ok {
+			continue
+		}
+		if !known[exp] {
+			stale = append(stale, exp)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// warnStaleBaselines is report-only: a stale baseline means the gate
+// silently stopped covering a regime, which should be visible in CI logs
+// without failing unrelated benchmark runs.
+func warnStaleBaselines(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return // the per-experiment load reports unreadable dirs
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	known := map[string]bool{}
+	for _, id := range bench.IDs() {
+		known[id] = true
+	}
+	for _, exp := range staleBaselines(names, known) {
+		fmt.Printf("benchdiff: WARNING: %s names experiment %q, which internal/bench no longer registers; delete the baseline or restore the regime\n",
+			baselinePath(dir, exp), exp)
+	}
+}
+
 func loadBaseline(dir, experiment string) (*baseline, error) {
 	data, err := os.ReadFile(baselinePath(dir, experiment))
 	if err != nil {
@@ -217,6 +266,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: no CSV files given")
 		os.Exit(2)
 	}
+	warnStaleBaselines(*dir)
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"toc/internal/bench"
 )
 
 const sampleCSV = `experiment,shards,workers,epoch_ms,speedup_vs_1shard
@@ -127,5 +129,40 @@ func TestMetricRowsErrors(t *testing.T) {
 	b.Keys = []string{"nope"}
 	if _, err := metricRows(b, tables["spillscale"]); err == nil {
 		t.Error("unknown key column should be an error")
+	}
+}
+
+// A committed baseline whose regime left the registry is reported, and
+// non-baseline files are ignored.
+func TestStaleBaselines(t *testing.T) {
+	known := map[string]bool{"spillscale": true, "rightmul": true}
+	names := []string{
+		"BENCH_spillscale.json", // known: fine
+		"BENCH_decodecache.json",
+		"BENCH_asyncscale.json",
+		"README.md",        // not a baseline
+		"BENCH_weird.yaml", // wrong extension
+	}
+	got := staleBaselines(names, known)
+	want := []string{"asyncscale", "decodecache"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("staleBaselines = %v, want %v", got, want)
+	}
+}
+
+// Every experiment benchdiff seeds a default spec for must exist in the
+// registry — otherwise the spec itself is the stale name.
+func TestDefaultSpecsMatchRegistry(t *testing.T) {
+	known := map[string]bool{}
+	for _, id := range bench.IDs() {
+		known[id] = true
+	}
+	if len(known) == 0 {
+		t.Fatal("internal/bench registers no experiments")
+	}
+	for id := range defaultSpecs {
+		if !known[id] {
+			t.Errorf("defaultSpecs names %q, which internal/bench does not register", id)
+		}
 	}
 }

@@ -1,0 +1,61 @@
+// Command toclint is the repo's multichecker: it runs the custom
+// analyzers in internal/analysis over the given packages and fails when
+// any invariant they enforce is violated.
+//
+// Usage:
+//
+//	toclint ./...
+//	toclint ./internal/storage ./internal/engine
+//
+// Analyzers:
+//
+//   - guardedby — fields annotated //toc:guardedby <mu> are only
+//     accessed with the named mutex held (every package).
+//   - detcheck — determinism-critical packages (internal/core, engine,
+//     ml, checkpoint) never iterate maps with externally visible writes
+//     and never call time.Now or the global math/rand source outside
+//     //toc:timing functions.
+//
+// The companion bounds-check gate is cmd/bcecheck; see the README's
+// "Static analysis" section for the annotation conventions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"toc/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: toclint [packages]\n\n")
+		for _, a := range analysis.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "%s: %s\n\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "toclint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analysis.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "toclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "toclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

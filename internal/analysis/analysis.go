@@ -1,0 +1,181 @@
+// Package analysis is the repo's static-analysis toolkit: a minimal
+// go/analysis-style framework (built on the standard library's go/ast and
+// go/types, so it needs no external modules) plus the custom analyzers
+// cmd/toclint compiles into a multichecker.
+//
+// The analyzers mechanically enforce the invariants the codebase
+// otherwise guarantees only by convention and by tests that must happen
+// to exercise the race:
+//
+//   - guardedby: fields annotated "//toc:guardedby <mu>" may only be
+//     accessed while that mutex is held (see guardedby.go).
+//   - detcheck: determinism-critical packages must not iterate maps with
+//     side effects and must not read wall-clock time or the global
+//     math/rand source outside "//toc:timing" functions (see detcheck.go).
+//
+// The third invariant class — hot kernel loops staying bounds-check-free
+// — is enforced by cmd/bcecheck, which diffs the compiler's
+// -d=ssa/check_bce inventory against a committed golden baseline rather
+// than inspecting the AST.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check; a subset of golang.org/x/tools'
+// analysis.Analyzer, enough for the repo's own linters.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test output.
+	Name string
+	// Doc is the one-paragraph description toclint -help prints.
+	Doc string
+	// Applies filters packages by import path; nil means every package.
+	Applies func(pkgPath string) bool
+	// Run analyzes one package, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass connects an Analyzer run to one loaded package and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Pkg
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers that apply to each package and returns every
+// diagnostic, sorted by position.
+func Run(pkgs []*Pkg, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			diags = append(diags, pass.diags...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// A directive is one machine-readable "//toc:<name> <args>" comment. The
+// no-space-after-slashes form mirrors //go:build: gofmt leaves it alone
+// and godoc hides it from rendered documentation.
+type directive struct {
+	name string // "guardedby", "locked", "timing"
+	args []string
+}
+
+// directives extracts the //toc: directives from the given comment
+// groups (nil groups are skipped).
+func directives(groups ...*ast.CommentGroup) []directive {
+	var out []directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, "//toc:")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			out = append(out, directive{name: fields[0], args: fields[1:]})
+		}
+	}
+	return out
+}
+
+// directiveArgs returns the concatenated arguments of every //toc:<name>
+// directive in the groups — e.g. the mutex names of "//toc:locked mu".
+func directiveArgs(name string, groups ...*ast.CommentGroup) []string {
+	var out []string
+	for _, d := range directives(groups...) {
+		if d.name == name {
+			out = append(out, d.args...)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether any group carries //toc:<name>.
+func hasDirective(name string, groups ...*ast.CommentGroup) bool {
+	for _, d := range directives(groups...) {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// baseIdent chases a selector/index/deref chain to its base identifier:
+// s.stats.ResidentBytes -> s, (*p).cache[i] -> p. It returns nil when the
+// base is not a plain identifier (a call result, a literal, ...).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Analyzers is the multichecker's suite, in the order cmd/toclint runs
+// them.
+var Analyzers = []*Analyzer{GuardedBy, DetCheck}

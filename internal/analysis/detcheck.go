@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetPackages are the determinism-critical packages: everything on the
+// path from a (seed, config) pair to a trained parameter vector. The
+// repo's identity tests pin trajectories bitwise across worker counts and
+// crash/resume; these packages must therefore never consult a
+// nondeterministic source outside the annotated epoch timers.
+var DetPackages = map[string]bool{
+	"toc/internal/core":       true,
+	"toc/internal/engine":     true,
+	"toc/internal/ml":         true,
+	"toc/internal/checkpoint": true,
+}
+
+// DetCheck enforces the determinism rules in DetPackages:
+//
+//   - No map-range iteration whose body writes to state declared outside
+//     the loop. Go randomizes map iteration order, so such a loop bakes
+//     scheduler entropy into whatever it writes — including a float
+//     accumulator, where even commutative adds round differently per
+//     order. (Reads are fine; building a set or summing ints into a
+//     body-local is flagged too because proving commutativity is harder
+//     than sorting the keys first, which is the expected fix.)
+//   - No time.Now/time.Since, and no math/rand package-level functions
+//     (the process-global, randomly-seeded source), outside functions
+//     annotated "//toc:timing". The engines' epoch timers carry the
+//     annotation; anything else is a bug. Explicitly seeded generators —
+//     rand.New(rand.NewSource(seed)) and the methods of the *rand.Rand
+//     they return — are the repo's sanctioned randomness and stay legal.
+//
+// Test files are not analyzed (toclint loads only GoFiles), so tests may
+// time and randomize freely.
+var DetCheck = &Analyzer{
+	Name: "detcheck",
+	Doc: "forbid nondeterminism in determinism-critical packages: map-range " +
+		"loops with externally visible writes, and time.Now/global math/rand " +
+		"outside //toc:timing functions",
+	Applies: func(pkgPath string) bool { return DetPackages[pkgPath] },
+	Run:     runDetCheck,
+}
+
+func runDetCheck(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			timing := hasDirective("timing", fd.Doc)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					checkNondetCall(pass, x, timing)
+				case *ast.RangeStmt:
+					if t := pass.Pkg.Info.TypeOf(x.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							checkMapRange(pass, x)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkNondetCall flags references to time.Now/time.Since and to
+// math/rand's package-level functions (except the seeded constructors
+// New/NewSource) outside //toc:timing functions.
+func checkNondetCall(pass *Pass, sel *ast.SelectorExpr, timing bool) {
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() != "Now" && fn.Name() != "Since" {
+			return
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Name() == "New" || fn.Name() == "NewSource" {
+			return // seeded construction is the sanctioned pattern
+		}
+	default:
+		return
+	}
+	if timing {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"%s.%s in a determinism-critical package: annotate the function //toc:timing if this is an epoch timer, otherwise derive the value from the seed",
+		fn.Pkg().Name(), fn.Name())
+}
+
+// checkMapRange flags writes inside a map-range body whose target is
+// declared outside the loop.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	report := func(e ast.Expr) {
+		base := baseIdent(e)
+		if base == nil {
+			pass.Reportf(e.Pos(),
+				"write through a computed expression inside map-range iteration: order is nondeterministic")
+			return
+		}
+		if base.Name == "_" {
+			return
+		}
+		obj := pass.Pkg.Info.Uses[base]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[base]
+		}
+		// Local to the loop (including the key/value variables a :=
+		// range declares): the write cannot outlive an iteration.
+		if obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.Body.End() {
+			return
+		}
+		pass.Reportf(base.Pos(),
+			"write to %s inside map-range iteration: iteration order is nondeterministic; iterate sorted keys instead",
+			base.Name)
+	}
+	if rs.Tok == token.ASSIGN {
+		// for k = range m with a pre-declared k: after the loop k holds
+		// an order-dependent key.
+		if rs.Key != nil {
+			report(rs.Key)
+		}
+		if rs.Value != nil {
+			report(rs.Value)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true // fresh locals
+			}
+			for _, lhs := range x.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(x.X)
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && len(x.Args) > 0 {
+				if b, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "delete" {
+					report(x.Args[0])
+				}
+			}
+		}
+		return true
+	})
+}

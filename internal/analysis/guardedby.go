@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedBy enforces the "//toc:guardedby <mu>" field annotation: every
+// read or write of an annotated field must be dominated by a Lock/RLock
+// of the named mutex earlier in the same function (an Unlock outside a
+// defer re-arms the requirement), or the enclosing function must declare
+// "//toc:locked <mu>" — the repo's convention for xxxLocked helpers whose
+// callers hold the lock.
+//
+// The check is flow-insensitive and positional, by design: it scans each
+// function body in source order, toggling a per-mutex "held" flag at
+// Lock/Unlock calls, and flags annotated-field accesses made while the
+// flag is down. Mutexes are matched by their final name (s.mu.Lock()
+// guards fields annotated "mu"), which is exactly the repo's layout — a
+// guard lives in the same struct as the fields it protects.
+//
+// Two deliberate escapes keep the signal high:
+//
+//   - Accesses through a value the function itself created (x := &T{...})
+//     are exempt — constructors initialize fields before the value can
+//     be shared, and demanding locks there would teach people to
+//     annotate less.
+//   - Function literals start with no locks held and no exemptions, even
+//     when the enclosing function holds the lock at the literal's
+//     definition: a closure may run on another goroutine long after the
+//     lock is released, so it must take (or be handed) the lock itself.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "check that fields annotated //toc:guardedby <mu> are only accessed " +
+		"with the named mutex held (or inside a //toc:locked <mu> function)",
+	Run: runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			annot := map[string]bool{}
+			for _, mu := range directiveArgs("locked", fd.Doc) {
+				annot[mu] = true
+			}
+			checkFuncBody(pass, fd.Body, guards, annot)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field object to its mutex name.
+func collectGuards(pass *Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				args := directiveArgs("guardedby", field.Doc, field.Comment)
+				if len(args) == 0 {
+					continue
+				}
+				mu := args[0]
+				for _, name := range field.Names {
+					if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// funcScope is the positional lock state of one function body (a
+// FuncDecl's or a FuncLit's — literals get a fresh scope).
+type funcScope struct {
+	body  *ast.BlockStmt
+	held  map[string]bool       // mutex name -> positionally held
+	local map[types.Object]bool // values created in this function
+	annot map[string]bool       // //toc:locked declarations
+}
+
+// checkFuncBody walks one function body in source order. ast.Inspect's
+// pre-order traversal visits nodes in position order, which is what makes
+// the positional held/cleared bookkeeping line up with the source.
+func checkFuncBody(pass *Pass, body *ast.BlockStmt, guards map[types.Object]string, annot map[string]bool) {
+	root := &funcScope{body: body, held: map[string]bool{}, local: map[types.Object]bool{}, annot: annot}
+	scopes := []*funcScope{root}
+	var stack []ast.Node
+	deferCalls := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			popped := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if fl, ok := popped.(*ast.FuncLit); ok && scopes[len(scopes)-1].body == fl.Body {
+				scopes = scopes[:len(scopes)-1]
+			}
+			return true
+		}
+		stack = append(stack, n)
+		scope := scopes[len(scopes)-1]
+
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			scopes = append(scopes, &funcScope{
+				body:  x.Body,
+				held:  map[string]bool{},
+				local: map[types.Object]bool{},
+				annot: map[string]bool{},
+			})
+
+		case *ast.DeferStmt:
+			deferCalls[x.Call] = true
+
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				mu := lockReceiverName(sel.X)
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if mu != "" {
+						scope.held[mu] = true
+					}
+				case "Unlock", "RUnlock":
+					// A deferred Unlock runs at return, after every
+					// access in the body; it must not clear the flag.
+					// Neither does an Unlock on a path that leaves the
+					// function (if stopped { mu.Unlock(); return }):
+					// code after that block runs only when the branch
+					// was not taken, i.e. with the lock still held.
+					if mu != "" && !deferCalls[x] && !unlockPathTerminates(stack) {
+						scope.held[mu] = false
+					}
+				}
+			}
+
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE && len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if isCreationExpr(x.Rhs[i]) {
+						if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+							scope.local[obj] = true
+						}
+					}
+				}
+			}
+
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i, id := range x.Names {
+					if isCreationExpr(x.Values[i]) {
+						if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+							scope.local[obj] = true
+						}
+					}
+				}
+			}
+
+		case *ast.SelectorExpr:
+			obj := pass.Pkg.Info.Uses[x.Sel]
+			mu, guarded := guards[obj]
+			if !guarded {
+				return true
+			}
+			if scope.held[mu] || scope.annot[mu] {
+				return true
+			}
+			if base := baseIdent(x.X); base != nil {
+				if bobj := pass.Pkg.Info.Uses[base]; bobj != nil && scope.local[bobj] {
+					return true
+				}
+			}
+			pass.Reportf(x.Sel.Pos(),
+				"access to %s requires %s held: dominate it with %s.Lock()/RLock(), or annotate the function //toc:locked %s",
+				obj.Name(), mu, mu, mu)
+		}
+		return true
+	})
+}
+
+// unlockPathTerminates reports whether the Unlock call on top of the
+// traversal stack sits in a block whose remaining statements end by
+// leaving the enclosing function — a return, a break/continue/goto, or a
+// panic. The stack runs root..current; the call itself is on top.
+func unlockPathTerminates(stack []ast.Node) bool {
+	// Find the innermost enclosing block and the statement within it that
+	// contains the call.
+	for i := len(stack) - 1; i > 0; i-- {
+		block, ok := stack[i-1].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		stmt, ok := stack[i].(ast.Stmt)
+		if !ok {
+			continue
+		}
+		idx := -1
+		for j, s := range block.List {
+			if s == stmt {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return false
+		}
+		last := block.List[len(block.List)-1]
+		switch t := last.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		case *ast.ExprStmt:
+			if call, ok := t.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// lockReceiverName returns the final name of a Lock/Unlock receiver
+// chain: s.mu -> "mu", run.mu -> "mu", mu -> "mu".
+func lockReceiverName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return lockReceiverName(x.X)
+	case *ast.UnaryExpr:
+		return lockReceiverName(x.X)
+	}
+	return ""
+}
+
+// isCreationExpr reports whether the expression constructs a fresh value:
+// &T{...}, T{...}, or new(T).
+func isCreationExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := x.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			return id.Name == "new"
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+// Package fixture exercises the detcheck analyzer: no wall-clock reads
+// or global math/rand outside //toc:timing functions, and no map-range
+// loops with externally visible writes.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink float64
+
+// wallClock reads the clock without the timing annotation.
+func wallClock() {
+	t := time.Now()                // want `time.Now in a determinism-critical package`
+	sink = time.Since(t).Seconds() // want `time.Since in a determinism-critical package`
+}
+
+// epochTimer is an annotated timer: the same calls are fine.
+//
+//toc:timing
+func epochTimer() {
+	t := time.Now()
+	sink = time.Since(t).Seconds()
+}
+
+// globalRand draws from the process-global, randomly seeded source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn in a determinism-critical package`
+}
+
+// seededRand constructs an explicit generator from a seed — the
+// sanctioned pattern — and its methods stay legal.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// mapRangeOuterWrite accumulates into state declared outside the loop:
+// iteration order leaks into the result.
+func mapRangeOuterWrite(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `write to total inside map-range iteration`
+	}
+	return total
+}
+
+// mapRangeOuterKey leaves an order-dependent key behind after the loop.
+func mapRangeOuterKey(m map[string]int) string {
+	var last string
+	for last = range m { // want `write to last inside map-range iteration`
+	}
+	return last
+}
+
+// mapRangeDelete mutates the map itself mid-iteration.
+func mapRangeDelete(m map[string]int) {
+	for k := range m {
+		if k == "" {
+			delete(m, k) // want `write to m inside map-range iteration`
+		}
+	}
+}
+
+// mapRangeLocalOnly writes only loop-local state: fine.
+func mapRangeLocalOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		w := v * 2
+		w++
+		if w > n { // reads of outer state are fine; n is written outside the loop
+			return w
+		}
+	}
+	return n
+}
+
+// sliceRangeOuterWrite ranges a slice, not a map: order is fixed, so
+// accumulating is fine.
+func sliceRangeOuterWrite(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

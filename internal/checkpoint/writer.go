@@ -27,17 +27,22 @@ const DefaultKeep = 3
 // must not race it). SetSynchronous makes SaveAsync block too, which
 // the identity tests use to pin the set of files a run produces.
 type Writer struct {
-	dir  string
-	keep int
+	dir string
 
-	mu       sync.Mutex
-	pending  *State // newest unwritten snapshot (coalesced)
-	err      error  // first background write failure
+	mu sync.Mutex
+	//toc:guardedby mu
+	keep int
+	//toc:guardedby mu
+	pending *State // newest unwritten snapshot (coalesced)
+	//toc:guardedby mu
+	err error // first background write failure
+	//toc:guardedby mu
 	syncMode bool
 	kick     chan struct{}
 	done     chan struct{}
 	idle     *sync.Cond // signaled when pending drains
-	closed   bool
+	//toc:guardedby mu
+	closed bool
 }
 
 // NewWriter creates (if needed) the checkpoint directory and starts the
@@ -180,6 +185,10 @@ func (w *Writer) loop() {
 	}
 }
 
+// recordErrLocked keeps the first background failure. Must be called
+// with w.mu held.
+//
+//toc:locked mu
 func (w *Writer) recordErrLocked(err error) {
 	if err != nil && w.err == nil {
 		w.err = err

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"toc/internal/matrix"
+)
+
+// The kernel steady state allocates nothing but the result buffer: the
+// decode tree is cached in the plan and every accumulator comes from the
+// shared scratch pool. These tests pin that property — a kernel change
+// that starts allocating per call (a lost pool hit, an accidental
+// per-call tree rebuild) fails here long before it shows up as a
+// throughput regression.
+//
+// AllocsPerRun runs at GOMAXPROCS(1); the sequential (workers=1) path is
+// the one measured. Parallel shards spawn goroutines, which allocate by
+// design.
+
+func TestKernelPlanSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	rows, cols := 64, 16
+	for name, b := range rightMulBatches(rng, rows, cols) {
+		plan := b.NewKernelPlan()
+		vr := randVec(rng, cols)
+		vl := randVec(rng, rows)
+		mr := matrix.NewDense(cols, 4)
+		fillRand(rng, mr)
+		ml := matrix.NewDense(4, rows)
+		fillRand(rng, ml)
+
+		// One allocation: the result slice. Everything else is pooled.
+		if got := testing.AllocsPerRun(50, func() { plan.MulVec(vr, 1) }); got > 1 {
+			t.Errorf("%s: MulVec allocates %.0f objects/op, want <= 1 (the result)", name, got)
+		}
+		if got := testing.AllocsPerRun(50, func() { plan.VecMul(vl, 1) }); got > 1 {
+			t.Errorf("%s: VecMul allocates %.0f objects/op, want <= 1 (the result)", name, got)
+		}
+		// Matrix results are a Dense header plus its backing array.
+		if got := testing.AllocsPerRun(50, func() { plan.MulMat(mr, 1) }); got > 2 {
+			t.Errorf("%s: MulMat allocates %.0f objects/op, want <= 2 (the result)", name, got)
+		}
+		if got := testing.AllocsPerRun(50, func() { plan.MatMul(ml, 1) }); got > 2 {
+			t.Errorf("%s: MatMul allocates %.0f objects/op, want <= 2 (the result)", name, got)
+		}
+	}
+}

@@ -60,7 +60,8 @@ type Async struct {
 	releaseSlack int
 
 	statsMu sync.Mutex
-	stats   AsyncStats
+	//toc:guardedby statsMu
+	stats AsyncStats
 }
 
 // StalenessUnbounded disables the staleness bound: workers free-run
@@ -261,9 +262,11 @@ type asyncResult struct {
 // asyncRun is the shared state of one Train call, kept off the Async
 // struct so Train stays reentrant.
 type asyncRun struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	clock   int64 // applied updates = next position to apply
+	mu   sync.Mutex
+	cond *sync.Cond
+	//toc:guardedby mu
+	clock int64 // applied updates = next position to apply
+	//toc:guardedby mu
 	stopped bool
 
 	// det mode: ring of bound+1 archived parameter vectors; slot
@@ -272,13 +275,15 @@ type asyncRun struct {
 	// version v is not overwritten until update v+bound lands, which
 	// cannot happen before every position reading v has submitted its
 	// gradient, so a gated read is always of an intact vector.
+	//toc:guardedby mu
 	arch [][]float64
 
 	done chan struct{}
 	once sync.Once
 
 	errMu sync.Mutex
-	err   error
+	//toc:guardedby errMu
+	err error
 }
 
 // stop wakes every goroutine gated on the clock or the done channel;
@@ -335,6 +340,8 @@ func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr flo
 // staleness-0 runs resume bitwise identically to an uninterrupted run;
 // free-running resumes are valid but timing-dependent. AsyncStats
 // counts only the updates applied by this call.
+//
+//toc:timing
 func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback, resume *checkpoint.State) (*ml.TrainResult, error) {
 	a.halted.Store(false)
 	res := &ml.TrainResult{}
@@ -540,6 +547,8 @@ func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr
 // runUpdater executes the updater loop on the caller's goroutine and
 // returns the run's staleness accounting. It is the only goroutine that
 // mutates the model.
+//
+//toc:timing
 func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource, res *ml.TrainResult,
 	start time.Time, n int, total, bound, startClock int64, partial, lr float64, cb ml.EpochCallback,
 	results chan asyncResult, requeue chan asyncTask, bufs chan []float64) AsyncStats {
@@ -572,10 +581,15 @@ func (a *Async) runUpdater(run *asyncRun, m ml.SnapshotModel, src ml.BatchSource
 			if clock < cnt {
 				cnt = clock
 			}
+			// The updater (the caller) is the only writer of arch, but
+			// workers read it under run.mu concurrently; copying the
+			// window under the lock keeps every arch access guarded.
+			run.mu.Lock()
 			for v := clock - cnt; v < clock; v++ {
 				st.Archive = append(st.Archive,
 					append([]float64(nil), run.arch[int(v%int64(bound+1))]...))
 			}
+			run.mu.Unlock()
 		}
 		return st
 	}

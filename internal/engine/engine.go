@@ -220,6 +220,8 @@ func (e *Engine) Train(m ml.GradModel, src ml.BatchSource, epochs int, lr float6
 // parameters and the exact epoch/position/partial-loss cursor, and
 // continues the trajectory: the completed run is bitwise identical to
 // one that was never interrupted.
+//
+//toc:timing
 func (e *Engine) TrainFrom(m ml.GradModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback, resume *checkpoint.State) (*ml.TrainResult, error) {
 	e.halted.Store(false)
 	res := &ml.TrainResult{}

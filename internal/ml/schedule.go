@@ -38,6 +38,8 @@ func InverseDecayLR(lr, k float64) Schedule {
 }
 
 // TrainSchedule is Train with a per-epoch learning-rate schedule.
+//
+//toc:timing
 func TrainSchedule(m Model, src BatchSource, epochs int, sched Schedule, cb EpochCallback) *TrainResult {
 	res := &TrainResult{}
 	start := time.Now()

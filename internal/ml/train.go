@@ -73,6 +73,8 @@ type EpochCallback func(epoch int, elapsed time.Duration, avgLoss float64)
 // Train runs MGD for the given number of epochs: every epoch visits all
 // mini-batches in order (the data was shuffled once upfront) and applies
 // Equation 2 per batch. cb may be nil.
+//
+//toc:timing
 func Train(m Model, src BatchSource, epochs int, lr float64, cb EpochCallback) *TrainResult {
 	res := &TrainResult{}
 	start := time.Now()

@@ -65,7 +65,8 @@ func ParseBandwidthModel(name string) (BandwidthModel, error) {
 // back-to-back reservations finish, in real time, no sooner than their
 // total size divided by the rate.
 type tokenBucket struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//toc:guardedby mu
 	next time.Time
 }
 

@@ -64,7 +64,8 @@ func (largestFirst) Value(idx int, size int64) float64 { return -float64(size) }
 // the training loop does. Before any order is announced it falls back to
 // arrival order (sequential epochs visit batches in that order anyway).
 type accessOrder struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//toc:guardedby mu
 	pos map[int]int
 }
 

@@ -118,13 +118,16 @@ func (s *Store) WriteManifest(path string) error {
 
 // encodeManifest serializes the store layout (with trailing CRC-32C).
 func (s *Store) encodeManifest() []byte {
+	s.mu.Lock()
+	evictions := s.stats.Evictions
+	s.mu.Unlock()
 	le := binary.LittleEndian
 	var img []byte
 	img = append(img, manifestMagic...)
 	img = append(img, manifestVersion, 0, 0, 0)
 	img = appendStr(img, s.method)
 	img = le.AppendUint64(img, uint64(s.budget))
-	img = le.AppendUint32(img, uint32(s.stats.Evictions))
+	img = le.AppendUint32(img, uint32(evictions))
 	img = le.AppendUint32(img, uint32(len(s.shards)))
 	for _, sh := range s.shards {
 		// The file's actual location, not the configured dir: a shard

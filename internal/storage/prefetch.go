@@ -77,15 +77,23 @@ type Prefetcher struct {
 	jobs     []chan fetchJob // one queue per spill shard
 	wg       sync.WaitGroup
 
-	mu         sync.Mutex
-	order      []int // predicted visit sequence (a permutation of 0..n-1)
-	next       []int // the following epoch's sequence; nil = wrap into order
-	posOf      []int // batch index -> position in order
-	lastPos    int   // deepest consumed position in order (-1 before any)
-	cache      map[int]*entry
+	mu sync.Mutex
+	//toc:guardedby mu
+	order []int // predicted visit sequence (a permutation of 0..n-1)
+	//toc:guardedby mu
+	next []int // the following epoch's sequence; nil = wrap into order
+	//toc:guardedby mu
+	posOf []int // batch index -> position in order
+	//toc:guardedby mu
+	lastPos int // deepest consumed position in order (-1 before any)
+	//toc:guardedby mu
+	cache map[int]*entry
+	//toc:guardedby mu
 	cacheBytes int64 // sum of cached/in-flight entry sizes
-	stats      PrefetchStats
-	closed     bool
+	//toc:guardedby mu
+	stats PrefetchStats
+	//toc:guardedby mu
+	closed bool
 }
 
 // NewPrefetcher wraps a fully-loaded store (no further Add calls) with a
@@ -180,6 +188,8 @@ func (p *Prefetcher) SetNextOrder(order []int) {
 
 // dropLocked removes a cache entry and refunds its byte charge. Must be
 // called with p.mu held.
+//
+//toc:locked mu
 func (p *Prefetcher) dropLocked(idx int, en *entry) {
 	delete(p.cache, idx)
 	p.cacheBytes -= en.size
@@ -190,6 +200,8 @@ func (p *Prefetcher) dropLocked(idx int, en *entry) {
 // announced next epoch at the boundary (or wrapping to the current head
 // when none is announced). The window additionally stops at the byte
 // budget when one is configured. Must be called with p.mu held.
+//
+//toc:locked mu
 func (p *Prefetcher) scheduleLocked(pos int) {
 	n := len(p.order)
 	if n == 0 || p.closed {
@@ -235,6 +247,8 @@ func (p *Prefetcher) Request(idx int) {
 // uncached, within the byte budget and the shard queue has room. It
 // reports whether the window may keep extending (false = budget or queue
 // exhausted). Must be called with p.mu held.
+//
+//toc:locked mu
 func (p *Prefetcher) requestLocked(idx int) bool {
 	if p.store.Resident(idx) {
 		return true

@@ -111,11 +111,15 @@ type Store struct {
 	// mu guards the stats and the disk-model configuration (bandwidth,
 	// model, latency) under concurrent Batch calls; SetReadBandwidth et
 	// al. may be called while readers are in flight.
-	mu        sync.Mutex
+	mu sync.Mutex
+	//toc:guardedby mu
 	bandwidth int64 // simulated read bandwidth in bytes/s; 0 = unthrottled
-	model     BandwidthModel
-	latency   time.Duration // simulated per-request access (seek) latency
-	stats     Stats
+	//toc:guardedby mu
+	model BandwidthModel
+	//toc:guardedby mu
+	latency time.Duration // simulated per-request access (seek) latency
+	//toc:guardedby mu
+	stats Stats
 }
 
 // storeConfig collects NewStore options.
@@ -323,8 +327,10 @@ func (s *Store) AddCompressed(c formats.CompressedMatrix, y []float64) error {
 		s.resident = append(s.resident, c)
 		s.spans = append(s.spans, span{})
 		s.sizes = append(s.sizes, size)
+		s.mu.Lock()
 		s.stats.ResidentBatches++
 		s.stats.ResidentBytes += size
+		s.mu.Unlock()
 		return nil
 	}
 	sp, err := s.spill(c.Serialize())
@@ -335,15 +341,23 @@ func (s *Store) AddCompressed(c formats.CompressedMatrix, y []float64) error {
 	s.resident = append(s.resident, nil)
 	s.spans = append(s.spans, sp)
 	s.sizes = append(s.sizes, size)
+	s.mu.Lock()
 	s.stats.SpilledBatches++
 	s.stats.SpilledBytes += sp.length
+	s.mu.Unlock()
 	return nil
 }
 
 // admit decides whether the incoming batch (idx, size) stays resident,
 // evicting lower-value residents to disk if that frees enough budget.
 func (s *Store) admit(idx int, size int64) (bool, error) {
-	if s.stats.ResidentBytes+size <= s.budget {
+	// Snapshot the resident-byte level once; it cannot change until the
+	// evictions this call itself performs, which happen after need is
+	// computed from the same snapshot.
+	s.mu.Lock()
+	residentBytes := s.stats.ResidentBytes
+	s.mu.Unlock()
+	if residentBytes+size <= s.budget {
 		return true, nil
 	}
 	// First-fit can never evict (the incoming batch always scores lowest),
@@ -374,7 +388,7 @@ func (s *Store) admit(idx int, size int64) (bool, error) {
 		}
 		return cands[a].i > cands[b].i
 	})
-	need := s.stats.ResidentBytes + size - s.budget
+	need := residentBytes + size - s.budget
 	var freed int64
 	k := 0
 	for k < len(cands) && freed < need {
@@ -398,11 +412,13 @@ func (s *Store) evict(i int) error {
 	if err != nil {
 		return fmt.Errorf("storage: evict batch %d: %w", i, err)
 	}
+	s.mu.Lock()
 	s.stats.ResidentBatches--
 	s.stats.ResidentBytes -= s.sizes[i]
 	s.stats.SpilledBatches++
 	s.stats.SpilledBytes += sp.length
 	s.stats.Evictions++
+	s.mu.Unlock()
 	s.resident[i] = nil
 	s.spans[i] = sp
 	return nil
