@@ -28,6 +28,17 @@ import (
 	"toc/internal/bench"
 )
 
+// openCSV opens the results file. The default is O_EXCL — never
+// silently clobber an existing results file, CI baselines compare
+// against these; force opts into truncating it instead.
+func openCSV(path string, force bool) (*os.File, error) {
+	mode := os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	if force {
+		mode = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	}
+	return os.OpenFile(path, mode, 0o644)
+}
+
 func main() {
 	var (
 		run        = flag.String("run", "", "experiment id (fig2, fig5, ..., table6, table7, scaling, spillscale) or 'all'")
@@ -40,6 +51,7 @@ func main() {
 		evict      = flag.String("evict", "", "override the spill experiments' residency policy: first-fit, largest-first or access-order")
 		staleness  = flag.Int("staleness", 0, "extra staleness bound for the asyncscale sweep (0 keeps the default sweep; negative adds the unbounded regime)")
 		csvPath    = flag.String("csv", "", "also append every table to this CSV file (refuses to overwrite an existing file)")
+		force      = flag.Bool("force", false, "with -csv, truncate and overwrite an existing results file")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -87,12 +99,10 @@ func main() {
 
 	var csvFile *os.File
 	if *csvPath != "" {
-		// O_EXCL: never silently clobber an existing results file — CI
-		// baselines compare against these.
-		f, err := os.OpenFile(*csvPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := openCSV(*csvPath, *force)
 		if err != nil {
 			if os.IsExist(err) {
-				fmt.Fprintf(os.Stderr, "tocbench: refusing to overwrite existing %s (delete it first or pick another -csv path)\n", *csvPath)
+				fmt.Fprintf(os.Stderr, "tocbench: refusing to overwrite existing %s (rerun with -force, delete it, or pick another -csv path)\n", *csvPath)
 			} else {
 				fmt.Fprintf(os.Stderr, "tocbench: %v\n", err)
 			}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenCSVRefusesExistingByDefault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	f, err := openCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("experiment,metric\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := openCSV(path, false); !os.IsExist(err) {
+		t.Fatalf("reopening without -force: err = %v, want an exists error", err)
+	}
+	// The refused open must leave the original contents alone.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "experiment,metric\n" {
+		t.Fatalf("existing file mutated by a refused open: %q", got)
+	}
+}
+
+func TestOpenCSVForceTruncatesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := os.WriteFile(path, []byte("stale baseline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := openCSV(path, true)
+	if err != nil {
+		t.Fatalf("-force open failed: %v", err)
+	}
+	if _, err := f.WriteString("fresh\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh\n" {
+		t.Fatalf("file = %q, want stale contents truncated away", got)
+	}
+	// -force on a fresh path still creates the file.
+	fresh := filepath.Join(t.TempDir(), "new.csv")
+	f2, err := openCSV(fresh, true)
+	if err != nil {
+		t.Fatalf("-force on a new path failed: %v", err)
+	}
+	f2.Close()
+}

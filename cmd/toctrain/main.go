@@ -10,6 +10,7 @@
 //	toctrain -dataset mnist -model lr -budget 500000 -workers 8 \
 //	    -spill-shards 4 -disk-model shared-bucket -seek 2ms -evict largest-first
 //	toctrain -dataset mnist -model lr -workers 8 -async -staleness 8
+//	toctrain -dataset mnist -model lr -workers 8 -async -elastic 200:+4,500:-2
 //
 // The spill layer is configurable: -spill-shards/-spill-dirs spread the
 // spill across files/directories (prefetch reads distinct shards
@@ -41,6 +42,17 @@
 // -staleness 0 walks the serial trajectory bitwise and -staleness -1
 // free-runs Hogwild-style. The run prints the update/rejection counters
 // and the observed staleness.
+//
+// The async pool is elastic and fault tolerant: -elastic applies a
+// join/leave schedule ("200:+4,500:-2" adds four workers after 200
+// updates and removes two after 500; such runs use delayed gradients so
+// the schedule never changes the trajectory), a supervisor replaces
+// crashed workers within -restart-budget replacements per
+// -restart-window (degrading the pool past it, failing loudly with the
+// panic chain once no workers remain), and spilled-batch reads retry
+// transient failures with -read-retries attempts backing off from
+// -retry-base. The run prints the join/departure, panic/restart and
+// storage retry counters.
 package main
 
 import (
@@ -98,6 +110,11 @@ func main() {
 		group      = flag.Int("group", 8, "engine mode: batch gradients merged per update; changes the update schedule vs serial (1 = serial-equivalent trajectory, with all workers sharding each gradient's kernels)")
 		async      = flag.Bool("async", false, "train with the asynchronous bounded-staleness engine instead of synchronous group steps")
 		staleness  = flag.Int("staleness", 8, "async mode: max parameter updates a gradient's snapshot may miss (0 = bitwise-serial trajectory, -1 = unbounded Hogwild-style free-running)")
+		elastic    = flag.String("elastic", "", "async mode: worker join/leave schedule as step:±delta pairs, e.g. 200:+4,500:-2")
+		restartBud = flag.Int("restart-budget", 0, "async mode: crashed-worker replacements allowed per -restart-window (0 = default, negative = never replace)")
+		restartWin = flag.Duration("restart-window", 0, "async mode: sliding window the restart budget counts replacements in (0 = default)")
+		readRetry  = flag.Int("read-retries", 0, "spilled-read attempts before a read fails permanently (0 = store default)")
+		retryBase  = flag.Duration("retry-base", 0, "initial spilled-read retry backoff, doubled per attempt with seeded jitter (0 = store default)")
 		spillShard = flag.Int("spill-shards", 0, "number of spill files, read concurrently by the prefetcher (0 = one, or one per -spill-dirs entry)")
 		spillDirs  = flag.String("spill-dirs", "", "comma-separated directories for spill shards (models distinct devices)")
 		diskModel  = flag.String("disk-model", "per-request", "bandwidth enforcement: per-request (aggregate scales with queue depth) or shared-bucket (aggregate capped per device)")
@@ -116,6 +133,13 @@ func main() {
 	}
 	if *resumeRun && *ckptDir == "" {
 		log.Fatal("-resume needs -checkpoint-dir")
+	}
+	elasticEvents, err := toc.ParseElasticSchedule(*elastic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(elasticEvents) > 0 && !*async {
+		log.Fatal("-elastic needs -async: only the bounded-staleness engine resizes mid-run")
 	}
 
 	d, err := toc.GenerateDataset(*dataset, *rows, *seed)
@@ -144,6 +168,20 @@ func main() {
 	}
 	if *spillDirs != "" {
 		opts = append(opts, toc.WithShardDirs(strings.Split(*spillDirs, ",")...))
+	}
+	if *readRetry != 0 || *retryBase != 0 {
+		rp := toc.DefaultRetryPolicy()
+		if *readRetry != 0 {
+			rp.Attempts = *readRetry
+		}
+		if *retryBase != 0 {
+			rp.Base = *retryBase
+			if rp.Max < rp.Base {
+				rp.Max = rp.Base
+			}
+		}
+		rp.Seed = *seed
+		opts = append(opts, toc.WithReadRetry(rp))
 	}
 	// Checkpointing: snapshots and the spill-store manifest live in
 	// -checkpoint-dir. A resume recovers the store from the manifest
@@ -201,9 +239,13 @@ func main() {
 	if *async {
 		aeng = toc.NewAsyncEngine(toc.AsyncConfig{
 			Workers: *workers, Staleness: *staleness, Seed: *seed,
-			Deterministic: ckpt != nil,
-			Checkpoint:    ckpt, CheckpointEvery: *ckptEvery,
+			Deterministic: ckpt != nil || len(elasticEvents) > 0,
+			RestartBudget: *restartBud, RestartWindow: *restartWin,
+			Checkpoint: ckpt, CheckpointEvery: *ckptEvery,
 		})
+		if len(elasticEvents) > 0 {
+			aeng.SetOnStep(aeng.ElasticHook(elasticEvents, nil))
+		}
 	} else if *workers != 1 || ckpt != nil {
 		// Checkpointing runs through the engine even single-threaded:
 		// the engine owns the resumable update schedule.
@@ -298,6 +340,11 @@ func main() {
 		as := aeng.Stats()
 		fmt.Printf("async: %d updates, %d rejected, staleness max %d mean %.2f\n",
 			as.Updates, as.Rejected, as.MaxStaleness, as.MeanStaleness())
+		fmt.Printf("elastic: %d joined, %d departed, final pool %d\n",
+			as.Joined, as.Departed,
+			int64(aeng.Workers())+as.Joined-as.Departed-as.Degraded)
+		fmt.Printf("crash recovery: %d worker panics, %d restarts, %d degraded\n",
+			as.WorkerPanics, as.Restarts, as.Degraded)
 	case eng != nil:
 		gm, ok := model.(toc.GradModel)
 		if !ok {
@@ -321,6 +368,10 @@ func main() {
 	fmt.Printf("total %.1fms (IO %.1fms, %d spilled reads), final error %.3f\n",
 		res.Total.Seconds()*1e3, st.ReadTime.Seconds()*1e3, st.Reads,
 		toc.EvaluateError(model, store))
+	if st.Retries > 0 || st.FailedReads > 0 {
+		fmt.Printf("storage retries: %d absorbed, %d reads failed permanently\n",
+			st.Retries, st.FailedReads)
+	}
 	fmt.Printf("decode-tree builds during training: %d (plan reuse: one per batch-gradient, not one per op)\n",
 		treeBuilds)
 	if pf != nil {

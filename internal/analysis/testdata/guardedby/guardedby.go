@@ -108,3 +108,72 @@ func initCounter(c *counter) {
 func (c *counter) unguardedAccess() {
 	c.unguarded++
 }
+
+// supervisor mirrors the async engine's crash-recovery loop: membership
+// counters and the panic chain are locked per event — never across the
+// blocking channel operations — and spawned worker closures must take
+// the lock themselves because they outlive the spawning scope.
+type supervisor struct {
+	mu sync.Mutex
+	//toc:guardedby mu
+	live int
+	//toc:guardedby mu
+	chain []string
+
+	events chan string
+	done   chan struct{}
+}
+
+// superviseLoop locks around each event's bookkeeping and releases
+// before blocking on the next receive: fine.
+func (s *supervisor) superviseLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case ev := <-s.events:
+			s.mu.Lock()
+			s.live--
+			s.chain = append(s.chain, ev)
+			dead := s.live == 0
+			s.mu.Unlock()
+			if dead {
+				return
+			}
+		}
+	}
+}
+
+// recount lets an access trail past the unlock: no longer protected.
+func (s *supervisor) recount(ev string) {
+	s.mu.Lock()
+	s.live++
+	s.chain = append(s.chain, ev)
+	s.mu.Unlock()
+	s.chain = nil // want `access to chain requires mu held`
+}
+
+// spawn's goroutine bodies run after spawn returns, so the enclosing
+// lock does not cover them: each closure must lock for itself.
+func (s *supervisor) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live++
+	go func() {
+		s.mu.Lock()
+		s.live--
+		s.mu.Unlock()
+	}()
+	go func() {
+		s.live-- // want `access to live requires mu held`
+	}()
+}
+
+// drainLocked documents its precondition like the supervisor's helpers.
+//
+//toc:locked mu
+func (s *supervisor) drainLocked() []string {
+	out := s.chain
+	s.chain = nil
+	return out
+}

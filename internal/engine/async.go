@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -53,11 +54,27 @@ type Async struct {
 	onStep    func(step int64, loss float64)
 	halted    atomic.Bool
 
+	// restartBudget and restartWindow bound crash recovery: a worker
+	// panic is recovered and the worker replaced as long as fewer than
+	// restartBudget replacements happened within the trailing
+	// restartWindow; past the budget the pool degrades instead (the
+	// crashed worker is not replaced) until no workers remain, at which
+	// point the run fails with the accumulated panic chain. A budget of
+	// 0 disables replacement entirely: every panic degrades.
+	restartBudget int
+	restartWindow time.Duration
+
 	// releaseSlack widens the release gate past the staleness bound
 	// without loosening the updater's admission check, forcing the
 	// reject-and-recompute path to fire. Tests only: production runs keep
 	// it 0, where the gate makes rejection impossible.
 	releaseSlack int
+
+	// runMu guards cur, the active TrainFrom's shared run state;
+	// AddWorkers and RemoveWorkers reach a running pool through it.
+	runMu sync.Mutex
+	//toc:guardedby runMu
+	cur *asyncRun
 
 	statsMu sync.Mutex
 	//toc:guardedby statsMu
@@ -69,6 +86,19 @@ type Async struct {
 // Updates are still applied in position order by the single updater, so
 // the run remains race-free; only the gradient *values* depend on timing.
 const StalenessUnbounded = -1
+
+// DefaultRestartBudget and DefaultRestartWindow are the crash-recovery
+// bounds a run gets when AsyncConfig leaves them zero: up to 8 worker
+// replacements per trailing minute before the pool starts degrading.
+const (
+	DefaultRestartBudget = 8
+	DefaultRestartWindow = time.Minute
+)
+
+// maxLiveWorkers caps the pool size AddWorkers can grow to; a join past
+// it is clamped, not an error. It exists so a buggy elastic schedule
+// cannot fork an unbounded goroutine herd.
+const maxLiveWorkers = 1024
 
 // AsyncConfig sizes the asynchronous engine.
 type AsyncConfig struct {
@@ -98,6 +128,19 @@ type AsyncConfig struct {
 	// has no defined delay).
 	Deterministic bool
 
+	// RestartBudget bounds crash recovery: a worker panic is recovered
+	// and the worker replaced as long as fewer than RestartBudget
+	// replacements happened within the trailing RestartWindow. Past the
+	// budget the pool degrades — the crashed worker is not replaced —
+	// until no workers remain, at which point the run fails with every
+	// recovered panic preserved in the returned error chain. 0 uses
+	// DefaultRestartBudget; a negative value disables replacement (every
+	// panic degrades the pool).
+	RestartBudget int
+	// RestartWindow is the sliding window RestartBudget counts
+	// replacements in; <= 0 uses DefaultRestartWindow.
+	RestartWindow time.Duration
+
 	// Checkpoint, CheckpointEvery and OnStep mirror Config: snapshots
 	// are captured on the updater goroutine between applied updates and
 	// written off the hot path. Only Deterministic (or Staleness 0) runs
@@ -125,6 +168,19 @@ type AsyncStats struct {
 	// StaleSum accumulates the staleness of every applied gradient;
 	// StaleSum/Updates is the mean.
 	StaleSum int64
+	// WorkerPanics counts worker panics the supervisor recovered; each
+	// one's position was requeued and recomputed.
+	WorkerPanics int64
+	// Restarts counts crashed workers the supervisor replaced within the
+	// restart budget.
+	Restarts int64
+	// Degraded counts crashed workers the supervisor did not replace
+	// because the budget was exhausted — permanent pool shrinkage.
+	Degraded int64
+	// Joined and Departed count mid-run membership changes: workers
+	// added by AddWorkers (plus any floor-restoring respawn) and workers
+	// that left cleanly via RemoveWorkers.
+	Joined, Departed int64
 }
 
 // MeanStaleness is the average number of updates an applied gradient's
@@ -146,10 +202,21 @@ func NewAsync(cfg AsyncConfig) *Async {
 	if s < 0 {
 		s = StalenessUnbounded
 	}
+	rb := cfg.RestartBudget
+	if rb == 0 {
+		rb = DefaultRestartBudget
+	} else if rb < 0 {
+		rb = 0
+	}
+	rw := cfg.RestartWindow
+	if rw <= 0 {
+		rw = DefaultRestartWindow
+	}
 	return &Async{
 		workers: w, staleness: s, seed: cfg.Seed, shuffle: cfg.Shuffle,
-		det: cfg.Deterministic && s > 0,
-		ck:  cfg.Checkpoint, ckEvery: cfg.CheckpointEvery, onStep: cfg.OnStep,
+		det:           cfg.Deterministic && s > 0,
+		restartBudget: rb, restartWindow: rw,
+		ck: cfg.Checkpoint, ckEvery: cfg.CheckpointEvery, onStep: cfg.OnStep,
 	}
 }
 
@@ -163,8 +230,63 @@ func (a *Async) Deterministic() bool { return a.det }
 // ErrHalted. Safe to call from any goroutine.
 func (a *Async) Halt() { a.halted.Store(true) }
 
-// Workers returns the pool size.
+// Workers returns the configured (initial) pool size.
 func (a *Async) Workers() int { return a.workers }
+
+// LiveWorkers returns the active run's current pool size — initial
+// workers, plus joins, minus clean departures and unreplaced crashes.
+// Between runs it reports the configured size.
+func (a *Async) LiveWorkers() int {
+	a.runMu.Lock()
+	run := a.cur
+	a.runMu.Unlock()
+	if run == nil {
+		return a.workers
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	return run.live
+}
+
+// AddWorkers grows a running Train's pool by n mid-run: new workers are
+// cloned from the live model and start pulling queued positions
+// immediately. It returns how many workers were actually added — 0 when
+// no run is active, n <= 0, or the pool is at its size cap. Safe to
+// call from any goroutine, including an OnStep callback. Deterministic
+// runs produce bitwise-identical trajectories regardless of when (or
+// whether) workers join.
+func (a *Async) AddWorkers(n int) int { return a.resize(n) }
+
+// RemoveWorkers shrinks a running Train's pool by up to n mid-run:
+// departing workers finish their in-flight position (or leave straight
+// from the idle queue) and exit cleanly, so nothing is lost or
+// recomputed. The pool never shrinks below one worker; the return value
+// is how many departures were actually granted — 0 when no run is
+// active or n <= 0.
+func (a *Async) RemoveWorkers(n int) int { return a.resize(-n) }
+
+// resize relays a membership request to the active run's supervisor and
+// waits for its verdict.
+func (a *Async) resize(delta int) int {
+	if delta == 0 {
+		return 0
+	}
+	a.runMu.Lock()
+	run := a.cur
+	a.runMu.Unlock()
+	if run == nil {
+		return 0
+	}
+	reply := make(chan int, 1)
+	select {
+	case run.ctl <- asyncCtl{delta: delta, reply: reply}:
+		// ctl is unbuffered: the supervisor has the request and always
+		// replies without blocking on anything but run.mu.
+		return <-reply
+	case <-run.done:
+		return 0
+	}
+}
 
 // Staleness returns the configured bound (StalenessUnbounded = none).
 func (a *Async) Staleness() int { return a.staleness }
@@ -278,12 +400,64 @@ type asyncRun struct {
 	//toc:guardedby mu
 	arch [][]float64
 
+	// ctl carries AddWorkers/RemoveWorkers requests to the supervisor;
+	// unbuffered, so an accepted send guarantees a reply.
+	ctl chan asyncCtl
+	//toc:guardedby mu
+	live int // workers currently in the pool (supervisor-maintained)
+	//toc:guardedby mu
+	chain []error // recovered worker panics, oldest first
+	//toc:guardedby mu
+	elastic elasticCounters
+
 	done chan struct{}
 	once sync.Once
 
 	errMu sync.Mutex
 	//toc:guardedby errMu
 	err error
+}
+
+// elasticCounters is the supervisor's share of AsyncStats, folded into
+// the run's stats after the pool joins.
+type elasticCounters struct {
+	panics, restarts, degraded, joined, departed int64
+}
+
+// asyncCtl is one membership request relayed to a run's supervisor.
+type asyncCtl struct {
+	delta int      // workers to add (> 0) or remove (< 0)
+	reply chan int // how many were actually granted
+}
+
+// workerEvent is a worker's report to the supervisor: a clean departure
+// (left), or a crash carrying the in-flight task, the gradient buffer
+// held at panic time (nil when none was held) and the recovered panic
+// value.
+type workerEvent struct {
+	left bool
+	task asyncTask
+	buf  []float64
+	val  any
+}
+
+// asyncShared bundles the channels and dimensions one TrainFrom call's
+// goroutines share, so the worker and supervisor logic live in methods
+// instead of giant closures.
+type asyncShared struct {
+	run     *asyncRun
+	m       ml.SnapshotModel
+	src     ml.BatchSource
+	tasks   chan asyncTask
+	requeue chan asyncTask
+	results chan asyncResult
+	bufs    chan []float64
+	events  chan workerEvent // worker -> supervisor crash/leave reports
+	leave   chan struct{}    // departure tokens granted by RemoveWorkers
+	np      int
+	kw      int
+	bound   int
+	wg      *sync.WaitGroup
 }
 
 // stop wakes every goroutine gated on the clock or the done channel;
@@ -309,9 +483,11 @@ func (r *asyncRun) failure() error {
 	return r.err
 }
 
-// recoverTo converts a panic in a worker or the updater into a run error
-// so Train can drain the pool and report instead of crashing the process
-// mid-epoch.
+// recoverTo converts a panic escaping the updater, the releaser, the
+// supervisor, or a worker's dispatch loop into a run error so Train can
+// drain the pool and report instead of crashing the process mid-epoch.
+// Worker *compute* panics never reach it: computeTask recovers those
+// into crash reports the supervisor absorbs under the restart budget.
 func (r *asyncRun) recoverTo(role string) {
 	if p := recover(); p != nil {
 		r.stop(fmt.Errorf("engine: async %s panicked: %v", role, p))
@@ -326,9 +502,12 @@ func (r *asyncRun) recoverTo(role string) {
 // exactly as the serial driver accounts them. cb may be nil; it runs on
 // the updater goroutine as each epoch's last update lands.
 //
-// A panic in any worker (a poisoned batch, a model bug) aborts the run:
-// the queue is drained, every goroutine joins, and the error is returned
-// alongside the partial result.
+// A panic in a worker (a poisoned batch, a failed storage read, a model
+// bug) does not abort the run: the supervisor recovers it, requeues the
+// lost position, and restarts the worker within the configured restart
+// budget. Only when the budget is exhausted and the pool has degraded
+// to nothing does the run fail, returning an error that chains every
+// recovered panic (errors.Is/As reach the original values).
 func (a *Async) Train(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr float64, cb ml.EpochCallback) (*ml.TrainResult, error) {
 	return a.TrainFrom(m, src, epochs, lr, cb, nil)
 }
@@ -396,7 +575,11 @@ func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr
 	}
 
 	tasks := make(chan asyncTask, inflight)
-	requeue := make(chan asyncTask, 4)
+	// Every requeued task is an in-flight position (released, not yet
+	// applied), so sizing the requeue at the in-flight cap makes both
+	// the updater's rejection sends and the supervisor's crash-recovery
+	// sends non-blocking in aggregate.
+	requeue := make(chan asyncTask, inflight)
 	results := make(chan asyncResult, inflight+a.workers)
 	bufs := make(chan []float64, inflight+a.workers)
 	for i := 0; i < inflight+a.workers; i++ {
@@ -404,6 +587,25 @@ func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr
 	}
 
 	var wg sync.WaitGroup
+	run.ctl = make(chan asyncCtl)
+	run.live = a.workers
+	sh := &asyncShared{
+		run: run, m: m, src: src,
+		tasks: tasks, requeue: requeue, results: results, bufs: bufs,
+		events: make(chan workerEvent, 64),
+		leave:  make(chan struct{}, maxLiveWorkers),
+		np:     np, kw: a.KernelWorkers(), bound: bound, wg: &wg,
+	}
+	// Publish the run so AddWorkers/RemoveWorkers can reach it; torn
+	// down before Train returns so late calls see no run and no-op.
+	a.runMu.Lock()
+	a.cur = run
+	a.runMu.Unlock()
+	defer func() {
+		a.runMu.Lock()
+		a.cur = nil
+		a.runMu.Unlock()
+	}()
 
 	// Releaser: feeds the queue in epoch-major position order, gated so
 	// no position outruns the staleness window, announcing each epoch's
@@ -454,80 +656,18 @@ func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr
 	// Workers: pull positions (requeues first — a rejected position
 	// blocks the clock until recomputed), refresh a private clone from
 	// the versioned snapshot, and compute the gradient on the clone so
-	// reads never race the updater's writes.
-	kw := a.KernelWorkers()
+	// reads never race the updater's writes. The supervisor owns the
+	// pool: it replaces crashed workers within the restart budget and
+	// applies mid-run membership changes.
 	for w := 0; w < a.workers; w++ {
-		clone := m.Clone()
-		if kp, ok := clone.(ml.KernelParallel); ok {
-			kp.SetKernelWorkers(kw)
-		}
-		wg.Add(1)
-		go func(clone ml.SnapshotModel) {
-			defer wg.Done()
-			defer run.recoverTo("worker")
-			snap := make([]float64, np)
-			in := tasks
-			for {
-				var tk asyncTask
-				select {
-				case tk = <-requeue:
-				default:
-					select {
-					case tk = <-requeue:
-					case t, ok := <-in:
-						if !ok {
-							in = nil // drained; keep serving requeues
-							continue
-						}
-						tk = t
-					case <-run.done:
-						return
-					}
-				}
-				x, y := src.Batch(tk.batch)
-				var version int64
-				if a.det {
-					// Delayed-gradient read: exactly version
-					// max(0, pos−bound) from the archive ring, waiting
-					// out the (test-only) release slack if the version
-					// has not been published yet.
-					target := tk.pos - int64(bound)
-					if target < 0 {
-						target = 0
-					}
-					run.mu.Lock()
-					for run.clock < target && !run.stopped {
-						run.cond.Wait()
-					}
-					if run.stopped {
-						run.mu.Unlock()
-						return
-					}
-					copy(snap, run.arch[int(target%int64(bound+1))])
-					run.mu.Unlock()
-					version = target
-				} else {
-					run.mu.Lock()
-					version = run.clock
-					m.Params(snap)
-					run.mu.Unlock()
-				}
-				clone.SetParams(snap)
-				var g []float64
-				select {
-				case g = <-bufs:
-				case <-run.done:
-					return
-				}
-				loss := clone.Grad(x, y, g)
-				select {
-				case results <- asyncResult{pos: tk.pos, batch: tk.batch, version: version, loss: loss, grad: g}:
-				case <-run.done:
-					return
-				}
-			}
-		}(clone)
+		a.spawnClone(sh)
 	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer run.recoverTo("supervisor")
+		a.supervise(sh)
+	}()
 
 	// Updater: the single writer. Applies gradients in position order,
 	// admitting each only if its snapshot is within the staleness bound
@@ -537,11 +677,317 @@ func (a *Async) TrainFrom(m ml.SnapshotModel, src ml.BatchSource, epochs int, lr
 	run.stop(nil) // normal completion, or echo of an abort
 	wg.Wait()
 
+	// Fold the supervisor's membership and crash accounting into the
+	// run's stats now that every goroutine has joined.
+	run.mu.Lock()
+	stats.WorkerPanics = run.elastic.panics
+	stats.Restarts = run.elastic.restarts
+	stats.Degraded = run.elastic.degraded
+	stats.Joined = run.elastic.joined
+	stats.Departed = run.elastic.departed
+	run.mu.Unlock()
+
 	a.statsMu.Lock()
 	a.stats = stats
 	a.statsMu.Unlock()
 	res.Total = time.Since(start)
 	return res, run.failure()
+}
+
+// spawnClone adds one worker goroutine to a run's pool, cloning the
+// model under the run lock so the clone's parameter read cannot race
+// the updater's in-place apply.
+func (a *Async) spawnClone(sh *asyncShared) {
+	sh.run.mu.Lock()
+	clone := sh.m.Clone()
+	sh.run.mu.Unlock()
+	if kp, ok := clone.(ml.KernelParallel); ok {
+		kp.SetKernelWorkers(sh.kw)
+	}
+	sh.wg.Add(1)
+	go func() {
+		defer sh.wg.Done()
+		defer sh.run.recoverTo("worker")
+		a.workerLoop(sh, clone)
+	}()
+}
+
+// workerLoop pulls queued positions until the run ends, the task queue
+// drains, or the worker is asked to leave. Each task's compute is
+// isolated by computeTask: a panic there becomes a crash report to the
+// supervisor, not the end of the run.
+func (a *Async) workerLoop(sh *asyncShared, clone ml.SnapshotModel) {
+	run := sh.run
+	snap := make([]float64, sh.np)
+	in := sh.tasks
+	for {
+		// Honor a departure token between tasks: the worker leaves
+		// cleanly and its would-be work stays in the queue for the rest
+		// of the pool.
+		select {
+		case <-sh.leave:
+			a.notify(sh, workerEvent{left: true})
+			return
+		default:
+		}
+		var tk asyncTask
+		select {
+		case tk = <-sh.requeue:
+		default:
+			select {
+			case tk = <-sh.requeue:
+			case t, ok := <-in:
+				if !ok {
+					in = nil // drained; keep serving requeues
+					continue
+				}
+				tk = t
+			case <-sh.leave:
+				a.notify(sh, workerEvent{left: true})
+				return
+			case <-run.done:
+				return
+			}
+		}
+		crash, exit := a.computeTask(sh, clone, snap, tk)
+		if exit {
+			return
+		}
+		if crash != nil {
+			// Report and retire: the supervisor decides whether a
+			// replacement spawns, so a crashing worker never loops on a
+			// poisoned state.
+			a.notify(sh, *crash)
+			return
+		}
+	}
+}
+
+// notify delivers a worker's event to the supervisor unless the run is
+// already over.
+func (a *Async) notify(sh *asyncShared, ev workerEvent) {
+	select {
+	case sh.events <- ev:
+	case <-sh.run.done:
+	}
+}
+
+// computeTask runs one queued position on the worker's private clone,
+// converting any panic — a poisoned batch, a storage read that
+// exhausted its retries, an injected engine.async.worker fault — into a
+// crash report for the supervisor instead of killing the run. exit
+// means the run stopped mid-task and the worker should simply return.
+func (a *Async) computeTask(sh *asyncShared, clone ml.SnapshotModel, snap []float64, tk asyncTask) (crash *workerEvent, exit bool) {
+	run := sh.run
+	var g []float64
+	defer func() {
+		if p := recover(); p != nil {
+			crash = &workerEvent{task: tk, buf: g, val: p}
+			exit = false
+		}
+	}()
+	// The canonical worker-kill injection point: chaos tests arm it to
+	// fell a worker at an exact task count.
+	if err := faultpoint.Err("engine.async.worker"); err != nil {
+		panic(err)
+	}
+	x, y := sh.src.Batch(tk.batch)
+	var version int64
+	if a.det {
+		// Delayed-gradient read: exactly version max(0, pos−bound) from
+		// the archive ring, waiting out the (test-only) release slack if
+		// the version has not been published yet.
+		target := tk.pos - int64(sh.bound)
+		if target < 0 {
+			target = 0
+		}
+		run.mu.Lock()
+		for run.clock < target && !run.stopped {
+			run.cond.Wait()
+		}
+		if run.stopped {
+			run.mu.Unlock()
+			return nil, true
+		}
+		copy(snap, run.arch[int(target%int64(sh.bound+1))])
+		run.mu.Unlock()
+		version = target
+	} else {
+		run.mu.Lock()
+		version = run.clock
+		sh.m.Params(snap)
+		run.mu.Unlock()
+	}
+	clone.SetParams(snap)
+	select {
+	case g = <-sh.bufs:
+	case <-run.done:
+		return nil, true
+	}
+	loss := clone.Grad(x, y, g)
+	select {
+	case sh.results <- asyncResult{pos: tk.pos, batch: tk.batch, version: version, loss: loss, grad: g}:
+	case <-run.done:
+		return nil, true
+	}
+	return nil, false
+}
+
+// supervise is a run's membership and crash authority: it grants
+// AddWorkers/RemoveWorkers requests, replaces crashed workers within
+// the sliding-window restart budget, degrades the pool past it, and
+// fails the run — panic chain intact — when no workers remain. It runs
+// until the run stops.
+//
+//toc:timing
+func (a *Async) supervise(sh *asyncShared) {
+	run := sh.run
+	var restarts []time.Time // replacement times inside the sliding window
+	leaving := 0             // departure tokens granted but not yet consumed
+	for {
+		select {
+		case <-run.done:
+			return
+		case c := <-run.ctl:
+			c.reply <- a.applyCtl(sh, c.delta, &leaving)
+		case ev := <-sh.events:
+			if ev.left {
+				if leaving > 0 {
+					leaving--
+				}
+				run.mu.Lock()
+				run.live--
+				run.elastic.departed++
+				floor := run.live == 0
+				run.mu.Unlock()
+				if floor {
+					// A crash degraded the pool while departure tokens
+					// were already granted: restore the floor of one so
+					// queued positions keep training.
+					a.spawnClone(sh)
+					run.mu.Lock()
+					run.live++
+					run.elastic.joined++
+					run.mu.Unlock()
+				}
+				continue
+			}
+			if !a.handleCrash(sh, ev, &restarts) {
+				return
+			}
+		}
+	}
+}
+
+// applyCtl grants a membership request: joins spawn immediately (capped
+// at maxLiveWorkers); departures hand out leave tokens, clamped so the
+// pool keeps at least one worker even after every granted token is
+// consumed.
+func (a *Async) applyCtl(sh *asyncShared, delta int, leaving *int) int {
+	run := sh.run
+	if delta > 0 {
+		run.mu.Lock()
+		live := run.live
+		run.mu.Unlock()
+		if delta > maxLiveWorkers-live {
+			delta = maxLiveWorkers - live
+		}
+		if delta <= 0 {
+			return 0
+		}
+		for i := 0; i < delta; i++ {
+			a.spawnClone(sh)
+		}
+		run.mu.Lock()
+		run.live += delta
+		run.elastic.joined += int64(delta)
+		run.mu.Unlock()
+		return delta
+	}
+	run.mu.Lock()
+	most := run.live - 1 - *leaving
+	run.mu.Unlock()
+	n := -delta
+	if n > most {
+		n = most
+	}
+	granted := 0
+	for granted < n {
+		select {
+		case sh.leave <- struct{}{}:
+			granted++
+		default:
+			n = granted // token queue full: grant what fit
+		}
+	}
+	*leaving += granted
+	return granted
+}
+
+// handleCrash absorbs one worker panic: the held gradient buffer goes
+// back to the pool, the worker is replaced if the sliding-window budget
+// allows (degrading the pool otherwise), and the lost position re-enters
+// the queue through the same path a staleness rejection uses. It
+// returns false when the pool is exhausted and the run has been failed.
+//
+//toc:timing
+func (a *Async) handleCrash(sh *asyncShared, ev workerEvent, restarts *[]time.Time) bool {
+	run := sh.run
+	if ev.buf != nil {
+		sh.bufs <- ev.buf // the pool is sized to hold every buffer: never blocks
+	}
+	err := asyncPanicError(ev.val)
+	now := time.Now()
+	keep := (*restarts)[:0]
+	for _, ts := range *restarts {
+		if now.Sub(ts) < a.restartWindow {
+			keep = append(keep, ts)
+		}
+	}
+	*restarts = keep
+	replace := len(keep) < a.restartBudget
+	run.mu.Lock()
+	run.elastic.panics++
+	run.chain = append(run.chain, err)
+	if replace {
+		run.elastic.restarts++
+	} else {
+		run.live--
+		run.elastic.degraded++
+	}
+	dead := run.live == 0
+	chain := append([]error(nil), run.chain...)
+	run.mu.Unlock()
+	if replace {
+		*restarts = append(*restarts, now)
+		a.spawnClone(sh)
+	} else if dead {
+		run.stop(fmt.Errorf("engine: async worker pool exhausted after %d worker panics (restart budget %d per %v): %w",
+			len(chain), a.restartBudget, a.restartWindow, errors.Join(chain...)))
+		return false
+	}
+	// Requeue the crashed worker's position. Its batch may have been
+	// consumed from the prefetch stream already, so ask for a re-read
+	// exactly like the updater's rejection path does.
+	if rs, ok := sh.src.(RequestSource); ok {
+		rs.Request(ev.task.batch)
+	}
+	select {
+	case sh.requeue <- ev.task:
+	case <-run.done:
+		return false
+	}
+	return true
+}
+
+// asyncPanicError converts a recovered worker panic value into an
+// error, preserving error panics (an injected faultpoint.Error, a
+// storage.ReadError) for errors.Is/As inspection of the final chain.
+func asyncPanicError(v any) error {
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("engine: async worker panicked: %w", err)
+	}
+	return fmt.Errorf("engine: async worker panicked: %v", v)
 }
 
 // runUpdater executes the updater loop on the caller's goroutine and

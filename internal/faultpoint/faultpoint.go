@@ -1,11 +1,11 @@
 // Package faultpoint is the fault-injection layer behind the repo's
 // crash/resume identity tests: named points in the storage and engine
 // code (spill writes, checkpoint renames, the gap between a parameter
-// update and its clock publish) call Hit, and a test — or the toctrain
-// -faultpoint debug flag — arms an action at a point to kill, delay or
-// fail the process exactly there.
+// update and its clock publish) call Hit or Err, and a test — or the
+// toctrain -faultpoint debug flag — arms an action at a point to kill,
+// delay or fail the process exactly there.
 //
-// Disarmed (the production state) a Hit is one atomic load; no
+// Disarmed (the production state) a Hit or Err is one atomic load; no
 // registration, no allocation, no lock. Armed actions:
 //
 //   - crash: terminate the process immediately with CrashExitCode, the
@@ -15,13 +15,24 @@
 //     checkpoint temp file).
 //   - delay: sleep for a duration, stretching the window between two
 //     events so a racing signal or writer lands inside it.
+//   - errorAfter: return an injected *Error from Err on exactly the
+//     Nth hit — a one-shot transient fault; hits before and after
+//     succeed, so a bounded retry is expected to recover.
+//   - errorEvery: return an injected *Error from Err on each hit
+//     independently with probability p, drawn from a stream seeded at
+//     arm time — deterministic given the seed and the hit sequence.
+//     Probability 1 is a permanent fault.
 //
-// An action fires on the Nth Hit of its point (N = 1 fires on the
-// first), so a test can let two spill writes succeed and kill the third.
+// Crash and delay fire on the Nth Hit of their point and on every hit
+// past it (N = 1 fires on the first), so a test can let two spill
+// writes succeed and kill the third. The error actions fire only at
+// Err call sites; a plain Hit still counts toward the point's hit
+// counter but never observes the injected error.
 package faultpoint
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -48,13 +59,34 @@ const (
 	// Delay sleeps for the armed duration on every hit at or past the
 	// threshold, stretching the window the point sits in.
 	Delay
+	// ErrorAfter makes Err return an injected *Error on exactly the Nth
+	// hit: a one-shot transient fault that a bounded retry recovers.
+	ErrorAfter
+	// ErrorEvery makes Err return an injected *Error on each hit
+	// independently with the armed probability, from a seeded stream.
+	// Probability 1 is a permanent fault.
+	ErrorEvery
 )
+
+// Error is the failure an error-mode point injects. It is typed so
+// callers and tests can unwrap an error chain and distinguish an
+// injected fault from a real one.
+type Error struct {
+	Point string // the armed point that fired
+	Hit   int64  // the 1-based hit it fired on
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultpoint: injected error at %s (hit %d)", e.Point, e.Hit)
+}
 
 // point is one armed fault.
 type point struct {
 	action Action
-	after  int64 // fire on the Nth hit (1-based)
+	after  int64 // fire on the Nth hit (1-based); ErrorAfter fires only on it
 	delay  time.Duration
+	prob   float64    // ErrorEvery firing probability
+	rng    *rand.Rand // ErrorEvery's seeded stream
 	hits   int64
 }
 
@@ -71,20 +103,43 @@ var (
 	exit = os.Exit
 )
 
-// Arm installs an action at a named point, firing on the Nth hit
-// (after <= 0 means the first). Delay actions use d; crash actions
-// ignore it. Re-arming a point resets its hit count.
-func Arm(name string, action Action, after int, d time.Duration) {
+// install registers p under name; callers hold no locks.
+func install(name string, p *point) {
 	mu.Lock()
 	defer mu.Unlock()
 	if points == nil {
 		points = make(map[string]*point)
 	}
+	points[name] = p
+	armedAny.Store(true)
+}
+
+// Arm installs an action at a named point, firing on the Nth hit
+// (after <= 0 means the first). Delay actions use d; crash actions
+// ignore it. Re-arming a point resets its hit count.
+func Arm(name string, action Action, after int, d time.Duration) {
 	if after <= 0 {
 		after = 1
 	}
-	points[name] = &point{action: action, after: int64(after), delay: d}
-	armedAny.Store(true)
+	install(name, &point{action: action, after: int64(after), delay: d})
+}
+
+// ArmError installs a one-shot error fault: Err returns an injected
+// *Error on exactly the nth hit (n <= 0 means the first) and nil on
+// every other hit. Re-arming a point resets its hit count.
+func ArmError(name string, after int) {
+	if after <= 0 {
+		after = 1
+	}
+	install(name, &point{action: ErrorAfter, after: int64(after)})
+}
+
+// ArmErrorEvery installs a probabilistic error fault: each Err hit
+// fails independently with probability p, drawn from a stream seeded by
+// seed so the failure pattern is reproducible. p >= 1 fails every hit
+// (a permanent fault); p <= 0 never fires but still counts hits.
+func ArmErrorEvery(name string, p float64, seed int64) {
+	install(name, &point{action: ErrorEvery, prob: p, rng: rand.New(rand.NewSource(seed))})
 }
 
 // Reset disarms every point. Tests that arm in-process must Reset on
@@ -110,25 +165,77 @@ func Armed(name string) bool {
 	return ok
 }
 
+// HitCount returns how many times the named point has been passed (by
+// Hit or Err) since it was armed; disarmed points report 0. Tests and
+// stat printers use it to assert an injected fault actually exercised
+// its code path.
+func HitCount(name string) int64 {
+	if !armedAny.Load() {
+		return 0
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// HitCounts returns a snapshot of every armed point's hit counter,
+// keyed by point name. The map is a copy; mutating it has no effect.
+func HitCounts() map[string]int64 {
+	if !armedAny.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(points) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(points))
+	for name, p := range points {
+		out[name] = p.hits
+	}
+	return out
+}
+
+// pass records one hit at name and decides what fires. fired is false
+// when the point is disarmed or its condition did not trigger; err is
+// non-nil only for error-mode points that fired.
+func pass(name string) (fired bool, action Action, d time.Duration, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil {
+		return false, 0, 0, nil
+	}
+	p.hits++
+	action = p.action
+	d = p.delay
+	switch p.action {
+	case Crash, Delay:
+		fired = p.hits >= p.after
+	case ErrorAfter:
+		fired = p.hits == p.after
+	case ErrorEvery:
+		fired = p.rng.Float64() < p.prob
+	}
+	if fired && (p.action == ErrorAfter || p.action == ErrorEvery) {
+		err = &Error{Point: name, Hit: p.hits}
+	}
+	return fired, action, d, err
+}
+
 // Hit marks execution passing the named point. Disarmed points (and the
-// whole registry when nothing is armed) are no-ops.
+// whole registry when nothing is armed) are no-ops. Error-mode points
+// count the hit but never fire here — only Err call sites can observe
+// an injected error.
 func Hit(name string) {
 	if !armedAny.Load() {
 		return
 	}
-	mu.Lock()
-	p := points[name]
-	var fire bool
-	var action Action
-	var d time.Duration
-	if p != nil {
-		p.hits++
-		fire = p.hits >= p.after
-		action = p.action
-		d = p.delay
-	}
-	mu.Unlock()
-	if !fire {
+	fired, action, d, _ := pass(name)
+	if !fired {
 		return
 	}
 	switch action {
@@ -139,15 +246,41 @@ func Hit(name string) {
 	}
 }
 
+// Err marks execution passing the named error-capable point and returns
+// the injected failure, if any. Disarmed points cost one atomic load
+// and return nil. Points armed with Crash or Delay behave exactly as at
+// a Hit site (and return nil), so one instrumented line serves every
+// action.
+func Err(name string) error {
+	if !armedAny.Load() {
+		return nil
+	}
+	fired, action, d, err := pass(name)
+	if !fired {
+		return nil
+	}
+	switch action {
+	case Crash:
+		exit(CrashExitCode)
+	case Delay:
+		time.Sleep(d)
+	}
+	return err
+}
+
 // ArmSpec arms points from a comma-separated spec, the grammar the
 // toctrain -faultpoint flag and the EnvVar variable share:
 //
-//	name=crash          crash on the first hit
-//	name=crash:3        crash on the third hit
-//	name=delay:50ms     sleep 50ms on every hit
-//	name=delay:50ms:2   sleep 50ms from the second hit on
+//	name=crash               crash on the first hit
+//	name=crash:3             crash on the third hit
+//	name=delay:50ms          sleep 50ms on every hit
+//	name=delay:50ms:2        sleep 50ms from the second hit on
+//	name=errorAfter:3        inject one error on exactly the third hit
+//	name=errorEvery:0.2      each hit errors with probability 0.2 (seed 1)
+//	name=errorEvery:0.2:7    same, jitter stream seeded with 7
 //
-// An empty spec arms nothing and is not an error.
+// An empty spec arms nothing and is not an error. Parse errors name the
+// offending token so a long spec pinpoints its typo.
 func ArmSpec(spec string) error {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -167,12 +300,12 @@ func ArmSpec(spec string) error {
 		case "crash":
 			after := 1
 			if len(fields) > 2 {
-				return fmt.Errorf("faultpoint: bad crash spec %q", part)
+				return fmt.Errorf("faultpoint: bad crash spec %q: extra token %q (want name=crash[:afterN])", part, fields[2])
 			}
 			if len(fields) == 2 {
 				n, err := strconv.Atoi(fields[1])
 				if err != nil {
-					return fmt.Errorf("faultpoint: bad crash hit count in %q: %v", part, err)
+					return fmt.Errorf("faultpoint: bad crash hit count %q in %q: %v", fields[1], part, err)
 				}
 				after = n
 			}
@@ -183,17 +316,46 @@ func ArmSpec(spec string) error {
 			}
 			d, err := time.ParseDuration(fields[1])
 			if err != nil {
-				return fmt.Errorf("faultpoint: bad delay duration in %q: %v", part, err)
+				return fmt.Errorf("faultpoint: bad delay duration %q in %q: %v", fields[1], part, err)
 			}
 			after := 1
 			if len(fields) == 3 {
 				n, err := strconv.Atoi(fields[2])
 				if err != nil {
-					return fmt.Errorf("faultpoint: bad delay hit count in %q: %v", part, err)
+					return fmt.Errorf("faultpoint: bad delay hit count %q in %q: %v", fields[2], part, err)
 				}
 				after = n
 			}
 			Arm(name, Delay, after, d)
+		case "errorAfter":
+			if len(fields) != 2 {
+				return fmt.Errorf("faultpoint: bad errorAfter spec %q (want name=errorAfter:n)", part)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad errorAfter hit count %q in %q: %v", fields[1], part, err)
+			}
+			ArmError(name, n)
+		case "errorEvery":
+			if len(fields) < 2 || len(fields) > 3 {
+				return fmt.Errorf("faultpoint: bad errorEvery spec %q (want name=errorEvery:p[:seed])", part)
+			}
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad errorEvery probability %q in %q: %v", fields[1], part, err)
+			}
+			if p < 0 || p > 1 {
+				return fmt.Errorf("faultpoint: errorEvery probability %q in %q out of range [0,1]", fields[1], part)
+			}
+			seed := int64(1)
+			if len(fields) == 3 {
+				s, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return fmt.Errorf("faultpoint: bad errorEvery seed %q in %q: %v", fields[2], part, err)
+				}
+				seed = s
+			}
+			ArmErrorEvery(name, p, seed)
 		default:
 			return fmt.Errorf("faultpoint: unknown action %q in %q", fields[0], part)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -284,9 +285,12 @@ func OpenStore(manifestPath string, opts ...Option) (*Store, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: manifest %s names unknown method %q", manifestPath, method)
 	}
-	cfg := storeConfig{policy: FirstFit()}
+	cfg := storeConfig{policy: FirstFit(), retry: DefaultRetryPolicy()}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.retry.Attempts < 1 {
+		cfg.retry.Attempts = 1
 	}
 	s := &Store{
 		method:    method,
@@ -296,6 +300,8 @@ func OpenStore(manifestPath string, opts ...Option) (*Store, error) {
 		bandwidth: cfg.bandwidth,
 		model:     cfg.model,
 		latency:   cfg.latency,
+		retry:     cfg.retry,
+		jitter:    rand.New(rand.NewSource(cfg.retry.Seed)),
 		persist:   true,
 	}
 	s.stats.Evictions = evictions

@@ -248,8 +248,18 @@ func TestBatchReadVerifiesSpanCRC(t *testing.T) {
 		if r == nil {
 			t.Fatal("Batch served a corrupt span without panicking")
 		}
-		if !strings.Contains(r.(string), "CRC") {
-			t.Fatalf("want a CRC panic, got: %v", r)
+		// The panic value is the typed permanent-read failure, with the
+		// CRC mismatch as its cause after the retry loop re-read the
+		// same rotten bytes every attempt.
+		re, ok := r.(*ReadError)
+		if !ok {
+			t.Fatalf("want a *ReadError panic, got %T: %v", r, r)
+		}
+		if re.Batch != victim {
+			t.Fatalf("ReadError.Batch = %d, want %d", re.Batch, victim)
+		}
+		if !strings.Contains(re.Error(), "CRC") {
+			t.Fatalf("want a CRC cause, got: %v", re)
 		}
 	}()
 	s.Batch(victim)

@@ -21,6 +21,10 @@ type PrefetchStats struct {
 	// Stall accumulates time the consumer spent waiting for an in-flight
 	// prefetch to land — the residual IO exposure after prefetching.
 	Stall time.Duration
+	// Errors counts background reads that exhausted the store's retry
+	// policy; each is re-surfaced to the consumer that asked for the
+	// batch rather than swallowed in a reader goroutine.
+	Errors int64
 }
 
 // fetchJob asks a reader goroutine to load one spilled batch.
@@ -29,14 +33,17 @@ type fetchJob struct {
 	en  *entry
 }
 
-// entry is a prefetched (or in-flight) batch; c and y are valid after done
-// is closed. size is the batch's on-disk length, charged against the
-// optional byte budget while the entry lives in the cache.
+// entry is a prefetched (or in-flight) batch; c, y and err are valid
+// after done is closed — err non-nil means the background read failed
+// permanently (a *ReadError) and the consumer must surface it. size is
+// the batch's on-disk length, charged against the optional byte budget
+// while the entry lives in the cache.
 type entry struct {
 	done chan struct{}
 	size int64
 	c    formats.CompressedMatrix
 	y    []float64
+	err  error
 }
 
 // PrefetchOption configures a Prefetcher at construction.
@@ -75,6 +82,7 @@ type Prefetcher struct {
 	depth    int
 	maxBytes int64           // 0 = unbounded; see WithPrefetchBytes
 	jobs     []chan fetchJob // one queue per spill shard
+	quit     chan struct{}   // closed by Close; interrupts in-flight retry backoffs
 	wg       sync.WaitGroup
 
 	mu sync.Mutex
@@ -125,6 +133,7 @@ func NewPrefetcher(s *Store, depth, readers int, opts ...PrefetchOption) *Prefet
 		store:   s,
 		depth:   depth,
 		jobs:    make([]chan fetchJob, shards),
+		quit:    make(chan struct{}),
 		order:   make([]int, n),
 		posOf:   make([]int, n),
 		lastPos: -1,
@@ -150,10 +159,20 @@ func NewPrefetcher(s *Store, depth, readers int, opts ...PrefetchOption) *Prefet
 	return p
 }
 
+// reader drains one shard's job queue. A read that fails permanently is
+// recorded on the entry instead of panicking here: the panic belongs on
+// the consumer's goroutine, where the engine's supervisor can catch it,
+// not in an anonymous reader where it would kill the process. Close's
+// quit channel interrupts a retry backoff mid-sleep.
 func (p *Prefetcher) reader(jobs <-chan fetchJob) {
 	defer p.wg.Done()
 	for j := range jobs {
-		j.en.c, j.en.y = p.store.Batch(j.idx)
+		j.en.c, j.en.y, j.en.err = p.store.batch(j.idx, p.quit)
+		if j.en.err != nil {
+			p.mu.Lock()
+			p.stats.Errors++
+			p.mu.Unlock()
+		}
 		close(j.en.done)
 	}
 }
@@ -334,6 +353,13 @@ func (p *Prefetcher) Batch(i int) (formats.CompressedMatrix, []float64) {
 		}
 		p.mu.Unlock()
 	}
+	if en.err != nil {
+		// Surface the background read's permanent failure on the
+		// consumer's goroutine, matching Store.Batch's panic contract.
+		// The entry is already out of the cache, so a later retry of
+		// this index schedules a fresh read.
+		panic(en.err)
+	}
 	return en.c, en.y
 }
 
@@ -348,7 +374,9 @@ func (p *Prefetcher) Stats() PrefetchStats {
 // the store remains the caller's job).
 func (p *Prefetcher) Store() *Store { return p.store }
 
-// Close stops the background readers. It does not close the wrapped store.
+// Close stops the background readers, interrupting any reader sitting
+// in a retry-backoff sleep so it returns promptly instead of serving
+// out its schedule. It does not close the wrapped store.
 func (p *Prefetcher) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -357,6 +385,7 @@ func (p *Prefetcher) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	close(p.quit)
 	for _, ch := range p.jobs {
 		close(ch)
 	}

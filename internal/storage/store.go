@@ -21,6 +21,7 @@ package storage
 import (
 	"fmt"
 	"hash/crc32"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -50,8 +51,15 @@ type Stats struct {
 	Reads     int64
 	BytesRead int64
 	// ReadTime accumulates wall-clock time spent reading and decoding
-	// spilled batches — the paper's "IO time" of Figure 1A.
+	// spilled batches — the paper's "IO time" of Figure 1A. It includes
+	// retry backoff: a flaky disk's stalls are IO time too.
 	ReadTime time.Duration
+	// Retries counts spilled-read attempts beyond each read's first —
+	// transient faults absorbed by the retry loop.
+	Retries int64
+	// FailedReads counts reads that exhausted the retry policy and
+	// surfaced a ReadError.
+	FailedReads int64
 }
 
 // span locates one spilled batch inside a shard's spill file. crc is
@@ -108,6 +116,10 @@ type Store struct {
 	// files on disk so a restarted process can recover from them.
 	persist bool
 
+	// retry bounds the spilled-read retry loop; immutable after
+	// construction.
+	retry RetryPolicy
+
 	// mu guards the stats and the disk-model configuration (bandwidth,
 	// model, latency) under concurrent Batch calls; SetReadBandwidth et
 	// al. may be called while readers are in flight.
@@ -120,6 +132,8 @@ type Store struct {
 	latency time.Duration // simulated per-request access (seek) latency
 	//toc:guardedby mu
 	stats Stats
+	//toc:guardedby mu
+	jitter *rand.Rand // seeded backoff-jitter stream (see RetryPolicy)
 }
 
 // storeConfig collects NewStore options.
@@ -130,6 +144,7 @@ type storeConfig struct {
 	bandwidth int64
 	latency   time.Duration
 	policy    EvictionPolicy
+	retry     RetryPolicy
 }
 
 // Option configures a Store at construction.
@@ -190,9 +205,12 @@ func NewStore(dir, method string, budgetBytes int64, opts ...Option) (*Store, er
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown method %q", method)
 	}
-	cfg := storeConfig{policy: FirstFit()}
+	cfg := storeConfig{policy: FirstFit(), retry: DefaultRetryPolicy()}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.retry.Attempts < 1 {
+		cfg.retry.Attempts = 1
 	}
 	if len(cfg.dirs) == 0 {
 		cfg.dirs = []string{dir}
@@ -213,6 +231,8 @@ func NewStore(dir, method string, budgetBytes int64, opts ...Option) (*Store, er
 		bandwidth: cfg.bandwidth,
 		model:     cfg.model,
 		latency:   cfg.latency,
+		retry:     cfg.retry,
+		jitter:    rand.New(rand.NewSource(cfg.retry.Seed)),
 	}
 	// Device identity is the cleaned directory path: shards in the same
 	// directory (however spelled) share one token bucket.
@@ -492,13 +512,76 @@ func (s *Store) ShardOf(i int) int {
 }
 
 // Batch returns mini-batch i, reading and decoding it from its spill
-// shard if it is not resident. Disk corruption is a
-// programming/environment error and panics with context. Safe for
-// concurrent use once loading is done.
+// shard if it is not resident. A read that still fails after the
+// store's retry policy is exhausted panics with the typed *ReadError —
+// the historical loud-failure contract for callers that treat disk
+// corruption as a programming/environment error. Use TryBatch to
+// observe the failure as an error instead. Safe for concurrent use once
+// loading is done.
 func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
-	if c := s.resident[i]; c != nil {
-		return c, s.labels[i]
+	c, y, err := s.batch(i, nil)
+	if err != nil {
+		panic(err)
 	}
+	return c, y
+}
+
+// TryBatch is Batch with the failure surfaced as a typed error: a read
+// that exhausts the retry policy returns a *ReadError (wrapping the
+// last attempt's cause) instead of panicking.
+func (s *Store) TryBatch(i int) (formats.CompressedMatrix, []float64, error) {
+	return s.batch(i, nil)
+}
+
+// batch loads mini-batch i, retrying transient spilled-read failures
+// under the store's RetryPolicy with seeded exponential backoff. cancel
+// (may be nil) interrupts a backoff sleep — the Prefetcher closes it so
+// its readers do not serve out a long retry schedule after Close.
+func (s *Store) batch(i int, cancel <-chan struct{}) (formats.CompressedMatrix, []float64, error) {
+	if c := s.resident[i]; c != nil {
+		return c, s.labels[i], nil
+	}
+	start := time.Now()
+	sp := s.spans[i]
+	var last error
+	attempts := 0
+	for attempt := 1; attempt <= s.retry.Attempts; attempt++ {
+		attempts = attempt
+		c, err := s.readSpilled(i)
+		if err == nil {
+			s.mu.Lock()
+			s.stats.Reads++
+			s.stats.BytesRead += sp.length
+			s.stats.ReadTime += time.Since(start)
+			s.mu.Unlock()
+			return c, s.labels[i], nil
+		}
+		last = err
+		if attempt == s.retry.Attempts {
+			break
+		}
+		s.mu.Lock()
+		s.stats.Retries++
+		d := s.backoffLocked(attempt)
+		s.mu.Unlock()
+		if !sleepOrCancel(d, cancel) {
+			last = fmt.Errorf("%w while retrying: %w", ErrReadCanceled, last)
+			break
+		}
+	}
+	s.mu.Lock()
+	s.stats.FailedReads++
+	s.stats.ReadTime += time.Since(start)
+	s.mu.Unlock()
+	return nil, nil, &ReadError{Batch: i, Shard: sp.shard, Attempts: attempts, Err: last}
+}
+
+// readSpilled performs one attempt at reading and decoding spilled
+// batch i under the configured disk model. Any failure — a short or
+// errored ReadAt, a CRC mismatch, a decode error, or an armed
+// storage.read.* faultpoint — is returned for the retry loop in batch
+// to absorb or surface.
+func (s *Store) readSpilled(i int) (formats.CompressedMatrix, error) {
 	s.mu.Lock()
 	bw, model, latency := s.bandwidth, s.model, s.latency
 	s.mu.Unlock()
@@ -506,6 +589,18 @@ func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
 	sp := s.spans[i]
 	sh := s.shards[sp.shard]
 	buf := make([]byte, sp.length)
+	readAt := func() error {
+		// storage.read.error models a transient device-level read fault
+		// (an EIO a re-read clears). It sits in front of the real read
+		// so the retry loop sees exactly what a flaky disk produces.
+		if err := faultpoint.Err("storage.read.error"); err != nil {
+			return fmt.Errorf("storage: read spilled batch %d: %w", i, err)
+		}
+		if _, err := sh.file.ReadAt(buf, sp.off); err != nil {
+			return fmt.Errorf("storage: read spilled batch %d: %w", i, err)
+		}
+		return nil
+	}
 	if model == SharedBucket {
 		// One request at a time per shard (the arm); the access latency
 		// and the bucket-paced transfer both keep the shard busy, but
@@ -515,9 +610,9 @@ func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
 		if latency > 0 {
 			time.Sleep(latency)
 		}
-		if _, err := sh.file.ReadAt(buf, sp.off); err != nil {
+		if err := readAt(); err != nil {
 			sh.rmu.Unlock()
-			panic(fmt.Sprintf("storage: read spilled batch %d: %v", i, err))
+			return nil, err
 		}
 		if bw > 0 {
 			if wait := sh.dev.bucket.reserve(sp.length, bw); wait > 0 {
@@ -529,8 +624,8 @@ func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
 		// Per-request throttle: each read sleeps to its own deadline, so
 		// concurrent requests overlap their sleeps and aggregate
 		// throughput scales with queue depth.
-		if _, err := sh.file.ReadAt(buf, sp.off); err != nil {
-			panic(fmt.Sprintf("storage: read spilled batch %d: %v", i, err))
+		if err := readAt(); err != nil {
+			return nil, err
 		}
 		want := latency
 		if bw > 0 {
@@ -540,19 +635,21 @@ func (s *Store) Batch(i int) (formats.CompressedMatrix, []float64) {
 			time.Sleep(want - spent)
 		}
 	}
-	if got := crc32.Checksum(buf, spanTable); got != sp.crc {
-		panic(fmt.Sprintf("storage: spilled batch %d failed CRC (stored %08x, read %08x): corrupt shard file", i, sp.crc, got))
+	got := crc32.Checksum(buf, spanTable)
+	if err := faultpoint.Err("storage.read.crc"); err != nil {
+		// Simulated bit flip: corrupt the computed checksum so the real
+		// CRC rejection below fires, exercising the same path a torn or
+		// rotted span takes.
+		got = ^got
+	}
+	if got != sp.crc {
+		return nil, fmt.Errorf("storage: spilled batch %d failed CRC (stored %08x, read %08x): corrupt shard file", i, sp.crc, got)
 	}
 	c, err := s.codec.Decode(buf)
 	if err != nil {
-		panic(fmt.Sprintf("storage: decode spilled batch %d: %v", i, err))
+		return nil, fmt.Errorf("storage: decode spilled batch %d: %w", i, err)
 	}
-	s.mu.Lock()
-	s.stats.Reads++
-	s.stats.BytesRead += sp.length
-	s.stats.ReadTime += time.Since(start)
-	s.mu.Unlock()
-	return c, s.labels[i]
+	return c, nil
 }
 
 // Stats returns a snapshot of layout and IO counters.

@@ -231,6 +231,18 @@ type AsyncStats = engine.AsyncStats
 // (Hogwild-style free-running).
 const StalenessUnbounded = engine.StalenessUnbounded
 
+// ElasticEvent is one membership change in an elastic schedule: after
+// Step applied updates, add (Delta > 0) or remove (Delta < 0) workers.
+// Feed a slice of them to AsyncEngine.ElasticHook, or call
+// AsyncEngine.AddWorkers / RemoveWorkers directly from any goroutine.
+type ElasticEvent = engine.ElasticEvent
+
+// ParseElasticSchedule parses the "200:+4,500:-2" grammar used by
+// toctrain's -elastic flag into a step-sorted schedule.
+func ParseElasticSchedule(spec string) ([]ElasticEvent, error) {
+	return engine.ParseElasticSchedule(spec)
+}
+
 // NewAsyncEngine builds an asynchronous bounded-staleness engine.
 func NewAsyncEngine(cfg AsyncConfig) *AsyncEngine { return engine.NewAsync(cfg) }
 
@@ -325,6 +337,21 @@ func WithAccessLatency(d time.Duration) StoreOption { return storage.WithAccessL
 
 // WithEviction selects the store's residency policy (default first-fit).
 func WithEviction(p EvictionPolicy) StoreOption { return storage.WithEviction(p) }
+
+// RetryPolicy bounds how a Store retries transient spilled-read
+// failures: Attempts tries total, exponential backoff from Base capped
+// at Max, with deterministic Seed-driven jitter.
+type RetryPolicy = storage.RetryPolicy
+
+// DefaultRetryPolicy is the retry discipline stores use out of the box.
+func DefaultRetryPolicy() RetryPolicy { return storage.DefaultRetryPolicy() }
+
+// WithReadRetry overrides the store's spilled-read retry policy.
+func WithReadRetry(p RetryPolicy) StoreOption { return storage.WithReadRetry(p) }
+
+// ReadError is the typed permanent-read failure a Store surfaces after
+// its retry budget is spent; the final cause is in its chain.
+type ReadError = storage.ReadError
 
 // NewStore creates a store holding batches encoded with method under a
 // resident-bytes budget; dir "" uses the OS temp dir. Options configure
