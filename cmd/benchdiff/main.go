@@ -53,13 +53,18 @@ type baseline struct {
 }
 
 // defaultSpecs seeds -update for experiments without a committed
-// baseline yet. All three regimes gate on their speedup column: it is a
-// throughput ratio against an in-run reference, so it transfers across
-// runner generations where absolute epoch times do not.
+// baseline yet. Every regime gates on a *relative* column — a ratio
+// against an in-run reference — so it transfers across runner
+// generations where absolute epoch times do not. kernelspeed gates on
+// vs_roofline: each decode kernel's single-core ns/nonzero as a multiple
+// of the dense kernel's ns/element roofline, measured in the same
+// process; lower is better, and a rise means the decode loops drifted
+// away from hardware-limited.
 var defaultSpecs = map[string]baseline{
-	"spillscale": {Metric: "speedup_vs_1shard", Direction: "higher", Keys: []string{"shards", "workers"}},
-	"rightmul":   {Metric: "speedup", Direction: "higher", Keys: []string{"config", "workers"}},
-	"asyncscale": {Metric: "speedup_vs_sync", Direction: "higher", Keys: []string{"config", "staleness", "workers"}},
+	"spillscale":  {Metric: "speedup_vs_1shard", Direction: "higher", Keys: []string{"shards", "workers"}},
+	"rightmul":    {Metric: "speedup", Direction: "higher", Keys: []string{"config", "workers"}},
+	"asyncscale":  {Metric: "speedup_vs_sync", Direction: "higher", Keys: []string{"config", "staleness", "workers"}},
+	"kernelspeed": {Metric: "vs_roofline", Direction: "lower", Keys: []string{"kernel", "variant"}},
 }
 
 // table is one experiment's rows as parsed from a tocbench CSV.

@@ -6,11 +6,15 @@
 //	tocbench -run fig5
 //	tocbench -run all -scale 0.5
 //	tocbench -run spillscale -csv spillscale.csv
+//	tocbench -run kernelspeed -cpuprofile kernels.pprof
 //
 // Each experiment prints a paper-style table; EXPERIMENTS.md records the
 // expected shapes. -scale trades runtime for fidelity (1.0 = default).
 // -csv additionally appends every table to a CSV file, which is what CI
 // uploads as an artifact so BENCH_* trajectories compare across PRs.
+// -cpuprofile and -memprofile capture pprof profiles of the run itself —
+// the loop that found this repo's decode-kernel hotspots — without
+// having to wrap an experiment in a go test harness.
 //
 // The spill experiments (scaling's spill regime, spillscale, the
 // out-of-core table cells) take the storage layer's knobs:
@@ -23,20 +27,73 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"toc/internal/bench"
 )
 
-// openCSV opens the results file. The default is O_EXCL — never
-// silently clobber an existing results file, CI baselines compare
-// against these; force opts into truncating it instead.
-func openCSV(path string, force bool) (*os.File, error) {
+// openResult opens an output file (-csv, -cpuprofile, -memprofile). The
+// default is O_EXCL — never silently clobber an existing results file,
+// CI baselines compare against these; force opts into truncating it
+// instead.
+func openResult(path string, force bool) (*os.File, error) {
 	mode := os.O_WRONLY | os.O_CREATE | os.O_EXCL
 	if force {
 		mode = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
 	}
 	return os.OpenFile(path, mode, 0o644)
+}
+
+// startCPUProfile begins profiling into path under the same overwrite
+// refusal as every other output. The returned stop flushes and closes
+// the profile; it must run before the process exits, including on
+// experiment failure, so a partial run still leaves a readable profile.
+func startCPUProfile(path string, force bool) (stop func(), err error) {
+	f, err := openResult(path, force)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile snapshots the heap to path after a run. The GC pass
+// first drops already-dead objects so the profile shows what the
+// experiments actually retain, not transient garbage.
+func writeMemProfile(path string, force bool) error {
+	f, err := openResult(path, force)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// runExperiments executes every experiment in order, rendering each
+// table to stdout and, when csvFile is non-nil, appending it there.
+func runExperiments(experiments []bench.Experiment, cfg bench.Config, csvFile *os.File) error {
+	for _, e := range experiments {
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.ID, err)
+		}
+		table.Render(os.Stdout)
+		if csvFile != nil {
+			if err := table.RenderCSV(csvFile); err != nil {
+				return fmt.Errorf("csv: %v", err)
+			}
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -51,7 +108,9 @@ func main() {
 		evict      = flag.String("evict", "", "override the spill experiments' residency policy: first-fit, largest-first or access-order")
 		staleness  = flag.Int("staleness", 0, "extra staleness bound for the asyncscale sweep (0 keeps the default sweep; negative adds the unbounded regime)")
 		csvPath    = flag.String("csv", "", "also append every table to this CSV file (refuses to overwrite an existing file)")
-		force      = flag.Bool("force", false, "with -csv, truncate and overwrite an existing results file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (refuses to overwrite an existing file)")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (refuses to overwrite an existing file)")
+		force      = flag.Bool("force", false, "with -csv/-cpuprofile/-memprofile, truncate and overwrite an existing results file")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -81,7 +140,7 @@ func main() {
 	}
 
 	// Resolve every experiment id before any side effects, so a typo'd
-	// -run cannot leave a truncated CSV behind.
+	// -run cannot leave a truncated CSV or empty profile behind.
 	ids := []string{*run}
 	if *run == "all" {
 		ids = bench.IDs()
@@ -97,34 +156,46 @@ func main() {
 		experiments[i] = e
 	}
 
+	failOpen := func(what, path string, err error) {
+		if os.IsExist(err) {
+			fmt.Fprintf(os.Stderr, "tocbench: refusing to overwrite existing %s (rerun with -force, delete it, or pick another %s path)\n", path, what)
+		} else {
+			fmt.Fprintf(os.Stderr, "tocbench: %s: %v\n", what, err)
+		}
+		os.Exit(1)
+	}
+
 	var csvFile *os.File
 	if *csvPath != "" {
-		f, err := openCSV(*csvPath, *force)
+		f, err := openResult(*csvPath, *force)
 		if err != nil {
-			if os.IsExist(err) {
-				fmt.Fprintf(os.Stderr, "tocbench: refusing to overwrite existing %s (rerun with -force, delete it, or pick another -csv path)\n", *csvPath)
-			} else {
-				fmt.Fprintf(os.Stderr, "tocbench: %v\n", err)
-			}
-			os.Exit(1)
+			failOpen("-csv", *csvPath, err)
 		}
 		defer f.Close()
 		csvFile = f
 	}
 
-	for _, e := range experiments {
-		id := e.ID
-		table, err := e.Run(cfg)
+	var stopCPU func()
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile, *force)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tocbench: %s: %v\n", id, err)
-			os.Exit(1)
+			failOpen("-cpuprofile", *cpuProfile, err)
 		}
-		table.Render(os.Stdout)
-		if csvFile != nil {
-			if err := table.RenderCSV(csvFile); err != nil {
-				fmt.Fprintf(os.Stderr, "tocbench: csv: %v\n", err)
-				os.Exit(1)
-			}
+		stopCPU = stop
+	}
+
+	runErr := runExperiments(experiments, cfg, csvFile)
+	if stopCPU != nil {
+		stopCPU()
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "tocbench: %v\n", runErr)
+		os.Exit(1)
+	}
+
+	if *memProfile != "" {
+		if err := writeMemProfile(*memProfile, *force); err != nil {
+			failOpen("-memprofile", *memProfile, err)
 		}
 	}
 }

@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-func TestOpenCSVRefusesExistingByDefault(t *testing.T) {
+func TestOpenResultRefusesExistingByDefault(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.csv")
-	f, err := openCSV(path, false)
+	f, err := openResult(path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +17,7 @@ func TestOpenCSVRefusesExistingByDefault(t *testing.T) {
 	}
 	f.Close()
 
-	if _, err := openCSV(path, false); !os.IsExist(err) {
+	if _, err := openResult(path, false); !os.IsExist(err) {
 		t.Fatalf("reopening without -force: err = %v, want an exists error", err)
 	}
 	// The refused open must leave the original contents alone.
@@ -30,12 +30,12 @@ func TestOpenCSVRefusesExistingByDefault(t *testing.T) {
 	}
 }
 
-func TestOpenCSVForceTruncatesExisting(t *testing.T) {
+func TestOpenResultForceTruncatesExisting(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.csv")
 	if err := os.WriteFile(path, []byte("stale baseline\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f, err := openCSV(path, true)
+	f, err := openResult(path, true)
 	if err != nil {
 		t.Fatalf("-force open failed: %v", err)
 	}
@@ -52,9 +52,56 @@ func TestOpenCSVForceTruncatesExisting(t *testing.T) {
 	}
 	// -force on a fresh path still creates the file.
 	fresh := filepath.Join(t.TempDir(), "new.csv")
-	f2, err := openCSV(fresh, true)
+	f2, err := openResult(fresh, true)
 	if err != nil {
 		t.Fatalf("-force on a new path failed: %v", err)
 	}
 	f2.Close()
+}
+
+func TestCPUProfileWritesValidProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := startCPUProfile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i) * 1.0000001
+	}
+	_ = x
+	stop()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pprof profiles are gzip-compressed protobufs: check the magic.
+	if len(got) < 2 || got[0] != 0x1f || got[1] != 0x8b {
+		t.Fatalf("profile does not look like gzip'd pprof data (%d bytes)", len(got))
+	}
+	// A second profile at the same path must refuse without -force.
+	if _, err := startCPUProfile(path, false); !os.IsExist(err) {
+		t.Fatalf("reprofile without -force: err = %v, want an exists error", err)
+	}
+}
+
+func TestMemProfileRefusesExistingByDefault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := writeMemProfile(path, false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+	if err := writeMemProfile(path, false); !os.IsExist(err) {
+		t.Fatalf("rewrite without -force: err = %v, want an exists error", err)
+	}
+	if err := writeMemProfile(path, true); err != nil {
+		t.Fatalf("rewrite with -force failed: %v", err)
+	}
 }

@@ -100,10 +100,113 @@ func (a *Array) Get(i int) uint32 {
 // Unpack decodes the whole array into a fresh slice.
 func (a *Array) Unpack() []uint32 {
 	out := make([]uint32, a.n)
-	for i := range out {
-		out[i] = a.Get(i)
-	}
+	a.UnpackRange(out, 0, a.n)
 	return out
+}
+
+// UnpackRange decodes elements [lo, hi) into dst, which must hold at
+// least hi-lo values. It is the bulk counterpart of Get: instead of one
+// seek-and-cast per element it decodes word-at-a-time — each 8-byte
+// little-endian load yields 8/4/2/2 values for widths 1/2/3/4 with pure
+// shift-and-mask extraction, no per-element branching — and allocates
+// nothing. Deserialize and ReadValueIndex decode through it.
+func (a *Array) UnpackRange(dst []uint32, lo, hi int) {
+	if lo < 0 || hi > a.n || lo > hi {
+		panic(fmt.Sprintf("bitpack: UnpackRange [%d,%d) out of range %d", lo, hi, a.n))
+	}
+	n := hi - lo
+	if len(dst) < n {
+		panic(fmt.Sprintf("bitpack: UnpackRange dst holds %d, need %d", len(dst), n))
+	}
+	dst = dst[:n]
+	src := a.data[lo*a.width : hi*a.width]
+	switch a.width {
+	case 1:
+		unpack8(dst, src)
+	case 2:
+		unpack16(dst, src)
+	case 3:
+		unpack24(dst, src)
+	default:
+		unpack32(dst, src)
+	}
+}
+
+// unpack8 decodes width-1 values: one 8-byte load yields 8 of them. All
+// four unpack helpers advance by re-slicing dst and src so every length
+// test directly proves the accesses behind it and the compiler drops
+// every bounds check in the bodies.
+func unpack8(dst []uint32, src []byte) {
+	for len(dst) >= 8 && len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		dst[0] = uint32(x) & 0xff
+		dst[1] = uint32(x>>8) & 0xff
+		dst[2] = uint32(x>>16) & 0xff
+		dst[3] = uint32(x>>24) & 0xff
+		dst[4] = uint32(x>>32) & 0xff
+		dst[5] = uint32(x>>40) & 0xff
+		dst[6] = uint32(x>>48) & 0xff
+		dst[7] = uint32(x >> 56)
+		dst = dst[8:]
+		src = src[8:]
+	}
+	for len(dst) >= 1 && len(src) >= 1 {
+		dst[0] = uint32(src[0])
+		dst = dst[1:]
+		src = src[1:]
+	}
+}
+
+// unpack16 decodes width-2 values: one 8-byte load yields 4.
+func unpack16(dst []uint32, src []byte) {
+	for len(dst) >= 4 && len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		dst[0] = uint32(x) & 0xffff
+		dst[1] = uint32(x>>16) & 0xffff
+		dst[2] = uint32(x>>32) & 0xffff
+		dst[3] = uint32(x >> 48)
+		dst = dst[4:]
+		src = src[8:]
+	}
+	for len(dst) >= 1 && len(src) >= 2 {
+		dst[0] = uint32(binary.LittleEndian.Uint16(src))
+		dst = dst[1:]
+		src = src[2:]
+	}
+}
+
+// unpack24 decodes width-3 values: one 8-byte load covers two values
+// (6 payload bytes) plus a 2-byte read-ahead, so the word loop stops one
+// load short of the end and a byte-at-a-time tail finishes.
+func unpack24(dst []uint32, src []byte) {
+	for len(dst) >= 2 && len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		dst[0] = uint32(x) & 0xffffff
+		dst[1] = uint32(x>>24) & 0xffffff
+		dst = dst[2:]
+		src = src[6:]
+	}
+	for len(dst) >= 1 && len(src) >= 3 {
+		dst[0] = uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16
+		dst = dst[1:]
+		src = src[3:]
+	}
+}
+
+// unpack32 decodes width-4 values: one 8-byte load yields 2.
+func unpack32(dst []uint32, src []byte) {
+	for len(dst) >= 2 && len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		dst[0] = uint32(x)
+		dst[1] = uint32(x >> 32)
+		dst = dst[2:]
+		src = src[8:]
+	}
+	for len(dst) >= 1 && len(src) >= 4 {
+		dst[0] = binary.LittleEndian.Uint32(src)
+		dst = dst[1:]
+		src = src[4:]
+	}
 }
 
 // EncodedSize returns the number of bytes AppendTo writes (header + payload).

@@ -76,6 +76,7 @@ type opScratch struct {
 	pairs   []Pair
 	parents []uint32
 	floats  []float64
+	gather  []float64
 	tree    DecodeTree
 }
 
@@ -91,6 +92,16 @@ func (s *opScratch) floatBuf(n int) []float64 {
 		buf[i] = 0
 	}
 	return buf
+}
+
+// gatherBuf returns an uninitialized buffer of length n from a second
+// arena, disjoint from floatBuf's. Used by matMulTree to stage one column
+// of M contiguously; callers overwrite it fully before reading.
+func (s *opScratch) gatherBuf(n int) []float64 {
+	if cap(s.gather) < n {
+		s.gather = make([]float64, n)
+	}
+	return s.gather[:n]
 }
 
 // buildTree builds C' into the arena; the result is valid until the

@@ -15,56 +15,87 @@ import (
 //
 // Like the right multiplications, the kernels are split into
 // tree-parameterized bodies shared by the per-call builders here, the
-// sharded drivers in leftmul_parallel.go, and KernelPlan (plan.go).
+// sharded drivers in leftmul_parallel.go, and KernelPlan (plan.go). The
+// bodies accumulate into caller-zeroed destinations and walk D through
+// the flat Nodes/Starts arrays with the bounds proven up front
+// (boundsHint in rightmul.go), mirroring the right-mul loop shape.
 
 // VecMul computes v·A on the compressed batch.
 func (b *Batch) VecMul(v []float64) []float64 {
 	if len(v) != b.rows {
 		panic(fmt.Sprintf("core: VecMul dim mismatch %d != %d", len(v), b.rows))
 	}
+	r := make([]float64, b.cols)
 	if b.variant == SparseOnly {
-		return b.vecMulSparseSeq(v)
+		b.vecMulSparseSeq(v, r)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.vecMulTree(t, sc, v)
-}
-
-// vecMulTree is v·A over an already-built decode tree.
-func (b *Batch) vecMulTree(t *DecodeTree, sc *opScratch, v []float64) []float64 {
-	// Scan D to compute H[x] = G(x).
-	h := sc.floatBuf(t.Len())
-	for i := 0; i < b.rows; i++ {
-		vi := v[i]
-		for _, n := range b.d.row(i) {
-			h[n] += vi
-		}
-	}
-	// Scan C' backwards: children precede parents, so pushing H[i] onto
-	// H[parent] visits every implicit sequence element exactly once.
-	r := make([]float64, b.cols)
-	for i := t.Len() - 1; i >= 1; i-- {
-		k := t.Key[i]
-		r[k.Col] += k.Val * h[i]
-		h[t.Parent[i]] += h[i]
-	}
+	b.vecMulTree(t, sc, v, r)
 	return r
 }
 
-// vecMulSparseSeq is the SparseOnly v·A.
-func (b *Batch) vecMulSparseSeq(v []float64) []float64 {
-	r := make([]float64, b.cols)
+// vecMulTree is v·A over an already-built decode tree, accumulating into
+// r (length cols, caller-zeroed).
+func (b *Batch) vecMulTree(t *DecodeTree, sc *opScratch, v, r []float64) {
+	h := sc.floatBuf(t.Len())
+	b.vecMulRows(v, h)
+	// Scan C' backwards: children precede parents, so pushing H[i] onto
+	// H[parent] visits every implicit sequence element exactly once.
+	// key/parent/h share one proven length; the data-dependent r[col] and
+	// h[parent] indexes keep their checks.
+	key := t.Key
+	par := t.Parent[:len(key)]
+	h = h[:len(key)]
+	for i := len(key) - 1; i >= 1; i-- {
+		k := key[i]
+		r[k.Col] += k.Val * h[i]
+		h[par[i]] += h[i]
+	}
+}
+
+// vecMulRows scans D to compute H[x] = G(x) = Σ_{D[i,j]=x} v[i]. The walk
+// is flat over Nodes/Starts, 4-way unrolled; the unrolled scatters execute
+// in program order, so a node repeated within one tuple still accumulates
+// in the sequential order.
+func (b *Batch) vecMulRows(v, h []float64) {
+	nodes, starts := b.d.Nodes, b.d.Starts
+	boundsHint(0, b.rows, len(starts), len(v))
+	for i := 0; i < b.rows; i++ {
+		vi := v[i]
+		row := nodes[starts[i]:starts[i+1]]
+		for len(row) >= 4 {
+			h[row[0]] += vi
+			h[row[1]] += vi
+			h[row[2]] += vi
+			h[row[3]] += vi
+			row = row[4:]
+		}
+		for len(row) >= 1 {
+			h[row[0]] += vi
+			row = row[1:]
+		}
+	}
+}
+
+// vecMulSparseSeq is the SparseOnly v·A, accumulating into caller-zeroed r.
+func (b *Batch) vecMulSparseSeq(v, r []float64) {
+	starts, cols, vals := b.srStarts, b.srCols, b.srVals
+	boundsHint(0, b.rows, len(starts), len(v))
 	for i := 0; i < b.rows; i++ {
 		vi := v[i]
 		if vi == 0 {
 			continue
 		}
-		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-			r[b.srCols[k]] += vi * b.srVals[k]
+		cs := cols[starts[i]:starts[i+1]]
+		vs := vals[starts[i]:starts[i+1]]
+		vs = vs[:len(cs)]
+		for k, c := range cs {
+			r[c] += vi * vs[k]
 		}
 	}
-	return r
 }
 
 // MatMul computes M·A on the compressed batch, where M is p × rows.
@@ -72,55 +103,99 @@ func (b *Batch) MatMul(m *matrix.Dense) *matrix.Dense {
 	if m.Cols() != b.rows {
 		panic(fmt.Sprintf("core: MatMul dim mismatch %d != %d", m.Cols(), b.rows))
 	}
+	r := matrix.NewDense(m.Rows(), b.cols)
 	if b.variant == SparseOnly {
-		r := matrix.NewDense(m.Rows(), b.cols)
 		b.matMulSparseRange(m, r, 0, m.Rows())
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.matMulTree(t, sc, m)
-}
-
-// matMulTree is M·A over an already-built decode tree.
-func (b *Batch) matMulTree(t *DecodeTree, sc *opScratch, m *matrix.Dense) *matrix.Dense {
-	p := m.Rows()
-	r := matrix.NewDense(p, b.cols)
-	// Scan D to compute H[x,:] = G(x) = Σ_{D[i,j]=x} M[:,i]. H is stored
-	// node-major ("transposed" in the paper's wording) so D is scanned
-	// once with good locality.
-	h := sc.floatBuf(t.Len() * p)
-	for i := 0; i < b.rows; i++ {
-		for _, n := range b.d.row(i) {
-			hn := h[int(n)*p : int(n)*p+p]
-			for k := 0; k < p; k++ {
-				hn[k] += m.At(k, i)
-			}
-		}
-	}
-	// Scan C' backwards, pushing accumulated weights to parents.
-	for i := t.Len() - 1; i >= 1; i-- {
-		key := t.Key[i]
-		hi := h[i*p : i*p+p]
-		hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
-		col := int(key.Col)
-		for k := 0; k < p; k++ {
-			r.Set(k, col, r.At(k, col)+key.Val*hi[k])
-			hp[k] += hi[k]
-		}
-	}
+	b.matMulTree(t, sc, m, r)
 	return r
 }
 
-// matMulSparseRange is the SparseOnly M·A for result rows [klo,khi).
-func (b *Batch) matMulSparseRange(m *matrix.Dense, r *matrix.Dense, klo, khi int) {
+// matMulTree is M·A over an already-built decode tree, accumulating into
+// r (p × cols, caller-zeroed).
+func (b *Batch) matMulTree(t *DecodeTree, sc *opScratch, m *matrix.Dense, r *matrix.Dense) {
+	p := m.Rows()
+	// Scan D to compute H[x,:] = G(x) = Σ_{D[i,j]=x} M[:,i]. H is stored
+	// node-major ("transposed" in the paper's wording) so D is scanned
+	// once with good locality. Column i of M is gathered into a contiguous
+	// buffer once per tuple: the strided column walk runs once instead of
+	// once per code, and every accumulation reads sequential memory. The
+	// gather changes no addend and no order, only the load addresses.
+	h := sc.floatBuf(t.Len() * p)
+	mc := sc.gatherBuf(p)
+	md := m.Data()
+	mcols := m.Cols()
+	nodes, starts := b.d.Nodes, b.d.Starts
+	boundsHint(0, b.rows, len(starts), b.rows)
 	for i := 0; i < b.rows; i++ {
-		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-			col := int(b.srCols[k])
-			val := b.srVals[k]
-			for row := klo; row < khi; row++ {
-				r.Set(row, col, r.At(row, col)+m.At(row, i)*val)
+		row := nodes[starts[i]:starts[i+1]]
+		if len(row) == 0 {
+			continue
+		}
+		off := i
+		for k := range mc {
+			mc[k] = md[off]
+			off += mcols
+		}
+		for _, n := range row {
+			hn := h[int(n)*p : int(n)*p+len(mc)]
+			mw := mc
+			for len(hn) >= 4 && len(mw) >= 4 {
+				hn[0] += mw[0]
+				hn[1] += mw[1]
+				hn[2] += mw[2]
+				hn[3] += mw[3]
+				hn, mw = hn[4:], mw[4:]
+			}
+			for len(hn) >= 1 && len(mw) >= 1 {
+				hn[0] += mw[0]
+				hn, mw = hn[1:], mw[1:]
+			}
+		}
+	}
+	// Scan C' backwards, pushing accumulated weights to parents. The
+	// result element (k, col) strides by r's row width; walking the offset
+	// replaces the per-element index multiply.
+	rd := r.Data()
+	rcols := r.Cols()
+	key, par := t.Key, t.Parent
+	for i := len(key) - 1; i >= 1; i-- {
+		k := key[i]
+		hi := h[i*p : i*p+p]
+		hp := h[int(par[i])*p : int(par[i])*p+p]
+		hp = hp[:len(hi)]
+		kv := k.Val
+		off := int(k.Col)
+		for j := 0; j < len(hi); j++ {
+			rd[off] += kv * hi[j]
+			hp[j] += hi[j]
+			off += rcols
+		}
+	}
+}
+
+// matMulSparseRange is the SparseOnly M·A for result rows [klo,khi). The
+// result row is the outer loop: for a fixed output row the (i,k) nonzero
+// scan order is unchanged, so every result element folds in the exact
+// pre-restructure order, while M's row and the result row become
+// contiguous slices instead of strided column walks.
+func (b *Batch) matMulSparseRange(m *matrix.Dense, r *matrix.Dense, klo, khi int) {
+	starts, cols, vals := b.srStarts, b.srCols, b.srVals
+	boundsHint(0, b.rows, len(starts), b.rows)
+	for row := klo; row < khi; row++ {
+		mrow := m.Row(row)
+		rrow := r.Row(row)
+		for i := 0; i < b.rows; i++ {
+			mi := mrow[i]
+			cs := cols[starts[i]:starts[i+1]]
+			vs := vals[starts[i]:starts[i+1]]
+			vs = vs[:len(cs)]
+			for k, c := range cs {
+				rrow[c] += mi * vs[k]
 			}
 		}
 	}

@@ -45,20 +45,25 @@ func (b *Batch) VecMulParallel(v []float64, workers int) []float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	r := make([]float64, b.cols)
 	if b.variant == SparseOnly {
-		return b.vecMulSparseParallel(v, workers)
-	}
-	if workers == 1 || b.rows < 2*workers {
-		return b.VecMul(v)
+		b.vecMulSparseParallel(v, r, workers)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.vecMulTreePar(t, sc, v, workers)
+	if workers == 1 || b.rows < 2*workers {
+		b.vecMulTree(t, sc, v, r)
+	} else {
+		b.vecMulTreePar(t, sc, v, r, workers)
+	}
+	return r
 }
 
-// vecMulTreePar is the accumulator-sharded v·A body over a built tree.
-func (b *Batch) vecMulTreePar(t *DecodeTree, sc *opScratch, v []float64, workers int) []float64 {
+// vecMulTreePar is the accumulator-sharded v·A body over a built tree,
+// accumulating into r (length cols, caller-zeroed).
+func (b *Batch) vecMulTreePar(t *DecodeTree, sc *opScratch, v, r []float64, workers int) {
 	h := sc.floatBuf(t.Len())
 
 	// Scan D with the node space partitioned: worker w reads every tuple
@@ -85,9 +90,11 @@ func (b *Batch) vecMulTreePar(t *DecodeTree, sc *opScratch, v []float64, workers
 			wg.Add(1)
 			go func(nlo, nhi uint32) {
 				defer wg.Done()
+				nodes, starts := b.d.Nodes, b.d.Starts
+				boundsHint(0, b.rows, len(starts), len(v))
 				for i := 0; i < b.rows; i++ {
 					vi := v[i]
-					for _, n := range b.d.row(i) {
+					for _, n := range nodes[starts[i]:starts[i+1]] {
 						if n >= nlo && n < nhi {
 							h[n] += vi
 						}
@@ -97,12 +104,7 @@ func (b *Batch) vecMulTreePar(t *DecodeTree, sc *opScratch, v []float64, workers
 		}
 		wg.Wait()
 	} else {
-		for i := 0; i < b.rows; i++ {
-			vi := v[i]
-			for _, n := range b.d.row(i) {
-				h[n] += vi
-			}
-		}
+		b.vecMulRows(v, h)
 	}
 
 	// The parent pushes walk child→parent chains and must stay sequential;
@@ -111,16 +113,16 @@ func (b *Batch) vecMulTreePar(t *DecodeTree, sc *opScratch, v []float64, workers
 	// h[i] never changes after its own step in either formulation).
 	leftPushSeq(t, h)
 
-	r := make([]float64, b.cols)
 	scatterCols(t, h, r, workers)
-	return r
 }
 
 // leftPushSeq accumulates every node's weight onto its parent, back to
 // front — the sequential half of the split backward scan.
 func leftPushSeq(t *DecodeTree, h []float64) {
-	for i := t.Len() - 1; i >= 1; i-- {
-		h[t.Parent[i]] += h[i]
+	par := t.Parent
+	h = h[:len(par)]
+	for i := len(par) - 1; i >= 1; i-- {
+		h[par[i]] += h[i]
 	}
 }
 
@@ -128,8 +130,10 @@ func leftPushSeq(t *DecodeTree, h []float64) {
 // the parent pushes have run; per column the order matches the fused
 // sequential scan (descending node index).
 func scatterSeq(t *DecodeTree, h, r []float64) {
-	for i := t.Len() - 1; i >= 1; i-- {
-		k := t.Key[i]
+	key := t.Key
+	h = h[:len(key)]
+	for i := len(key) - 1; i >= 1; i-- {
+		k := key[i]
 		r[k.Col] += k.Val * h[i]
 	}
 }
@@ -163,10 +167,12 @@ func scatterCols(t *DecodeTree, h, r []float64, workers int) {
 		wg.Add(1)
 		go func(clo, chi uint32) {
 			defer wg.Done()
-			for i := t.Len() - 1; i >= 1; i-- {
-				k := t.Key[i]
+			key := t.Key
+			hw := h[:len(key)]
+			for i := len(key) - 1; i >= 1; i-- {
+				k := key[i]
 				if k.Col >= clo && k.Col < chi {
-					r[k.Col] += k.Val * h[i]
+					r[k.Col] += k.Val * hw[i]
 				}
 			}
 		}(clo, chi)
@@ -175,16 +181,17 @@ func scatterCols(t *DecodeTree, h, r []float64, workers int) {
 }
 
 // vecMulSparseParallel is the SparseOnly v·A with the scatter sharded over
-// disjoint column ranges; per column the accumulation order is the
-// sequential row order, so the result is bitwise identical.
-func (b *Batch) vecMulSparseParallel(v []float64, workers int) []float64 {
+// disjoint column ranges, accumulating into r (caller-zeroed); per column
+// the accumulation order is the sequential row order, so the result is
+// bitwise identical.
+func (b *Batch) vecMulSparseParallel(v, r []float64, workers int) {
 	if workers > b.cols {
 		workers = b.cols
 	}
 	if workers <= 1 {
-		return b.vecMulSparseSeq(v)
+		b.vecMulSparseSeq(v, r)
+		return
 	}
-	r := make([]float64, b.cols)
 	var wg sync.WaitGroup
 	span := (b.cols + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -199,21 +206,25 @@ func (b *Batch) vecMulSparseParallel(v []float64, workers int) []float64 {
 		wg.Add(1)
 		go func(clo, chi uint32) {
 			defer wg.Done()
+			starts, cols, vals := b.srStarts, b.srCols, b.srVals
+			boundsHint(0, b.rows, len(starts), len(v))
 			for i := 0; i < b.rows; i++ {
 				vi := v[i]
 				if vi == 0 {
 					continue
 				}
-				for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-					if c := b.srCols[k]; c >= clo && c < chi {
-						r[c] += vi * b.srVals[k]
+				cs := cols[starts[i]:starts[i+1]]
+				vs := vals[starts[i]:starts[i+1]]
+				vs = vs[:len(cs)]
+				for k, c := range cs {
+					if c >= clo && c < chi {
+						r[c] += vi * vs[k]
 					}
 				}
 			}
 		}(clo, chi)
 	}
 	wg.Wait()
-	return r
 }
 
 // MatMulParallel computes M·A like MatMul with the p dimension (rows of M
@@ -237,44 +248,75 @@ func (b *Batch) MatMulParallel(m *matrix.Dense, workers int) *matrix.Dense {
 	if workers <= 1 {
 		return b.MatMul(m)
 	}
+	r := matrix.NewDense(p, b.cols)
 	if b.variant == SparseOnly {
-		r := matrix.NewDense(p, b.cols)
 		forEachSpan(p, workers, func(klo, khi int) { b.matMulSparseRange(m, r, klo, khi) })
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.matMulTreePar(t, sc, m, workers)
+	b.matMulTreePar(t, sc, m, r, workers)
+	return r
 }
 
-// matMulTreePar is the p-sharded M·A body over a built tree; callers
-// guarantee 2 <= workers <= p. No barrier between the scans: worker w
-// touches only columns [klo,khi) of H and rows [klo,khi) of r, so its
-// backward scan depends on nothing another worker writes.
-func (b *Batch) matMulTreePar(t *DecodeTree, sc *opScratch, m *matrix.Dense, workers int) *matrix.Dense {
+// matMulTreePar is the p-sharded M·A body over a built tree, accumulating
+// into r (p × cols, caller-zeroed); callers guarantee 2 <= workers <= p.
+// No barrier between the scans: worker w touches only columns [klo,khi)
+// of H and rows [klo,khi) of r, so its backward scan depends on nothing
+// another worker writes. Each worker gathers its slice of M's column into
+// a private contiguous buffer per tuple, as the sequential matMulTree
+// does for the whole column.
+func (b *Batch) matMulTreePar(t *DecodeTree, sc *opScratch, m *matrix.Dense, r *matrix.Dense, workers int) {
 	p := m.Rows()
-	r := matrix.NewDense(p, b.cols)
 	h := sc.floatBuf(t.Len() * p)
+	md := m.Data()
+	mcols := m.Cols()
+	rd := r.Data()
+	rcols := r.Cols()
 	forEachSpan(p, workers, func(klo, khi int) {
+		mc := make([]float64, khi-klo)
+		nodes, starts := b.d.Nodes, b.d.Starts
+		boundsHint(0, b.rows, len(starts), b.rows)
 		for i := 0; i < b.rows; i++ {
-			for _, n := range b.d.row(i) {
-				hn := h[int(n)*p : int(n)*p+p]
-				for k := klo; k < khi; k++ {
-					hn[k] += m.At(k, i)
+			row := nodes[starts[i]:starts[i+1]]
+			if len(row) == 0 {
+				continue
+			}
+			off := klo*mcols + i
+			for k := range mc {
+				mc[k] = md[off]
+				off += mcols
+			}
+			for _, n := range row {
+				hn := h[int(n)*p+klo : int(n)*p+klo+len(mc)]
+				mw := mc
+				for len(hn) >= 4 && len(mw) >= 4 {
+					hn[0] += mw[0]
+					hn[1] += mw[1]
+					hn[2] += mw[2]
+					hn[3] += mw[3]
+					hn, mw = hn[4:], mw[4:]
+				}
+				for len(hn) >= 1 && len(mw) >= 1 {
+					hn[0] += mw[0]
+					hn, mw = hn[1:], mw[1:]
 				}
 			}
 		}
-		for i := t.Len() - 1; i >= 1; i-- {
-			key := t.Key[i]
-			hi := h[i*p : i*p+p]
-			hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
-			col := int(key.Col)
-			for k := klo; k < khi; k++ {
-				r.Set(k, col, r.At(k, col)+key.Val*hi[k])
-				hp[k] += hi[k]
+		key, par := t.Key, t.Parent
+		for i := len(key) - 1; i >= 1; i-- {
+			k := key[i]
+			hi := h[i*p+klo : i*p+khi]
+			hp := h[int(par[i])*p+klo : int(par[i])*p+khi]
+			hp = hp[:len(hi)]
+			kv := k.Val
+			off := klo*rcols + int(k.Col)
+			for j := 0; j < len(hi); j++ {
+				rd[off] += kv * hi[j]
+				hp[j] += hi[j]
+				off += rcols
 			}
 		}
 	})
-	return r
 }

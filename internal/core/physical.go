@@ -183,9 +183,14 @@ func (b *Batch) parseFull(buf []byte) error {
 	if colsArr.Len() != len(vals) {
 		return fmt.Errorf("core: I columns (%d) and values (%d) disagree", colsArr.Len(), len(vals))
 	}
+	// Bulk word-at-a-time decode of the column indexes, then zip with the
+	// dictionary-decoded values; the temporary is a single sized slice
+	// instead of one seek-and-cast Get per pair.
+	cols := make([]uint32, len(vals))
+	colsArr.UnpackRange(cols, 0, len(cols))
 	b.i = make([]Pair, len(vals))
-	for k := range vals {
-		b.i[k] = Pair{Col: colsArr.Get(k), Val: vals[k]}
+	for k := range b.i {
+		b.i[k] = Pair{Col: cols[k], Val: vals[k]}
 	}
 	nodesArr, buf, err := bitpack.ReadArray(buf)
 	if err != nil {

@@ -20,6 +20,11 @@ import (
 // concurrent use by multiple goroutines. A plan is tied to the batch it
 // was built from; batches are immutable (Scale returns a new Batch), so
 // it never goes stale.
+//
+// Each kernel has an Into variant that writes to a caller-owned
+// destination, eliminating the last per-op allocation: a training loop
+// that reuses its gradient buffers runs every step at zero steady-state
+// allocations (pinned by TestPlanIntoAllocs).
 type KernelPlan struct {
 	b    *Batch
 	tree *DecodeTree // nil for SparseOnly, which has no logical layer
@@ -39,10 +44,51 @@ func (b *Batch) NewKernelPlan() *KernelPlan {
 // Batch returns the batch the plan was built for.
 func (p *KernelPlan) Batch() *Batch { return p.b }
 
+// intoVec validates or allocates a float destination of length n. The
+// clear flag zeroes a caller-provided buffer for kernels that accumulate
+// rather than overwrite; fresh allocations are already zero.
+func intoVec(dst []float64, n int, clear bool, kernel string) []float64 {
+	if dst == nil {
+		return make([]float64, n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("core: KernelPlan.%s dst length %d != %d", kernel, len(dst), n))
+	}
+	if clear {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// intoMat validates or allocates a matrix destination of shape rows×cols,
+// zeroing a caller-provided one (every matrix kernel accumulates).
+func intoMat(dst *matrix.Dense, rows, cols int, kernel string) *matrix.Dense {
+	if dst == nil {
+		return matrix.NewDense(rows, cols)
+	}
+	if dst.Rows() != rows || dst.Cols() != cols {
+		panic(fmt.Sprintf("core: KernelPlan.%s dst shape %dx%d != %dx%d",
+			kernel, dst.Rows(), dst.Cols(), rows, cols))
+	}
+	d := dst.Data()
+	for i := range d {
+		d[i] = 0
+	}
+	return dst
+}
+
 // MulVec computes A·v with the cached tree; workers > 1 shards the D scan
 // over result rows, workers <= 1 runs sequentially. Bitwise identical to
 // Batch.MulVec either way.
 func (p *KernelPlan) MulVec(v []float64, workers int) []float64 {
+	return p.MulVecInto(nil, v, workers)
+}
+
+// MulVecInto is MulVec writing into dst (length rows, fully overwritten;
+// nil allocates). It returns dst.
+func (p *KernelPlan) MulVecInto(dst, v []float64, workers int) []float64 {
 	b := p.b
 	if len(v) != b.cols {
 		panic(fmt.Sprintf("core: KernelPlan.MulVec dim mismatch %d != %d", len(v), b.cols))
@@ -51,18 +97,27 @@ func (p *KernelPlan) MulVec(v []float64, workers int) []float64 {
 		workers = 1
 	}
 	workers = rightWorkers(workers, b.rows)
+	r := intoVec(dst, b.rows, false, "MulVecInto")
 	if b.variant == SparseOnly {
-		return b.mulVecSparsePar(v, workers)
+		b.mulVecSparsePar(v, r, workers)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
-	return b.mulVecTree(p.tree, sc, v, workers)
+	b.mulVecTree(p.tree, sc, v, r, workers)
+	return r
 }
 
 // MulMat computes A·M with the cached tree; workers > 1 shards the H scan
 // over result columns and the D scan over result rows, workers <= 1 runs
 // sequentially. Bitwise identical to Batch.MulMat either way.
 func (p *KernelPlan) MulMat(m *matrix.Dense, workers int) *matrix.Dense {
+	return p.MulMatInto(nil, m, workers)
+}
+
+// MulMatInto is MulMat accumulating into dst (rows × m.Cols(), zeroed
+// first; nil allocates). It returns dst.
+func (p *KernelPlan) MulMatInto(dst *matrix.Dense, m *matrix.Dense, workers int) *matrix.Dense {
 	b := p.b
 	if m.Rows() != b.cols {
 		panic(fmt.Sprintf("core: KernelPlan.MulMat dim mismatch %d != %d", m.Rows(), b.cols))
@@ -71,40 +126,60 @@ func (p *KernelPlan) MulMat(m *matrix.Dense, workers int) *matrix.Dense {
 		workers = 1
 	}
 	workers = rightWorkers(workers, b.rows)
+	r := intoMat(dst, b.rows, m.Cols(), "MulMatInto")
 	if b.variant == SparseOnly {
-		return b.mulMatSparsePar(m, workers)
+		b.mulMatSparsePar(m, r, workers)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
-	return b.mulMatTree(p.tree, sc, m, workers)
+	b.mulMatTree(p.tree, sc, m, r, workers)
+	return r
 }
 
 // VecMul computes v·A with the cached tree; workers > 1 uses the
 // accumulator-sharded kernel, workers <= 1 the sequential one. Bitwise
 // identical to Batch.VecMul either way.
 func (p *KernelPlan) VecMul(v []float64, workers int) []float64 {
+	return p.VecMulInto(nil, v, workers)
+}
+
+// VecMulInto is VecMul accumulating into dst (length cols, zeroed first;
+// nil allocates). It returns dst.
+func (p *KernelPlan) VecMulInto(dst, v []float64, workers int) []float64 {
 	b := p.b
 	if len(v) != b.rows {
 		panic(fmt.Sprintf("core: KernelPlan.VecMul dim mismatch %d != %d", len(v), b.rows))
 	}
+	r := intoVec(dst, b.cols, true, "VecMulInto")
 	if b.variant == SparseOnly {
 		if workers > 1 {
-			return b.vecMulSparseParallel(v, workers)
+			b.vecMulSparseParallel(v, r, workers)
+		} else {
+			b.vecMulSparseSeq(v, r)
 		}
-		return b.vecMulSparseSeq(v)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	if workers > 1 && b.rows >= 2*workers {
-		return b.vecMulTreePar(p.tree, sc, v, workers)
+		b.vecMulTreePar(p.tree, sc, v, r, workers)
+	} else {
+		b.vecMulTree(p.tree, sc, v, r)
 	}
-	return b.vecMulTree(p.tree, sc, v)
+	return r
 }
 
 // MatMul computes M·A with the cached tree; workers > 1 shards the p
 // dimension, workers <= 1 runs sequentially. Bitwise identical to
 // Batch.MatMul either way.
 func (p *KernelPlan) MatMul(m *matrix.Dense, workers int) *matrix.Dense {
+	return p.MatMulInto(nil, m, workers)
+}
+
+// MatMulInto is MatMul accumulating into dst (m.Rows() × cols, zeroed
+// first; nil allocates). It returns dst.
+func (p *KernelPlan) MatMulInto(dst *matrix.Dense, m *matrix.Dense, workers int) *matrix.Dense {
 	b := p.b
 	if m.Cols() != b.rows {
 		panic(fmt.Sprintf("core: KernelPlan.MatMul dim mismatch %d != %d", m.Cols(), b.rows))
@@ -112,8 +187,8 @@ func (p *KernelPlan) MatMul(m *matrix.Dense, workers int) *matrix.Dense {
 	if workers > m.Rows() {
 		workers = m.Rows()
 	}
+	r := intoMat(dst, m.Rows(), b.cols, "MatMulInto")
 	if b.variant == SparseOnly {
-		r := matrix.NewDense(m.Rows(), b.cols)
 		if workers > 1 {
 			forEachSpan(m.Rows(), workers, func(klo, khi int) { b.matMulSparseRange(m, r, klo, khi) })
 		} else {
@@ -124,7 +199,9 @@ func (p *KernelPlan) MatMul(m *matrix.Dense, workers int) *matrix.Dense {
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	if workers > 1 {
-		return b.matMulTreePar(p.tree, sc, m, workers)
+		b.matMulTreePar(p.tree, sc, m, r, workers)
+	} else {
+		b.matMulTree(p.tree, sc, m, r)
 	}
-	return b.matMulTree(p.tree, sc, m)
+	return r
 }

@@ -18,63 +18,123 @@ import (
 // paper's cost model), the sharded drivers in rightmul_parallel.go, and
 // KernelPlan (plan.go), which builds C' once per batch-step and amortizes
 // it over every kernel call of that step.
+//
+// The inner loops are written for the hardware, not the paper's
+// pseudocode: D is walked through the flat Nodes/Starts arrays with the
+// shard bounds proven up front (boundsHint) so the compiler drops the
+// per-element checks, and the per-row reductions are 4-way unrolled.
+// Every unroll keeps the exact sequential fold order — a single
+// accumulator chain for scalar sums, per-column independence for the
+// matrix rows — so results stay bitwise identical to the pre-rewrite
+// loops, which the equivalence tests pin at every worker count.
+
+// boundsHint asserts lo <= hi, hi < len(starts) and hi <= limit, giving
+// the compiler the facts it needs to drop the starts[i]/starts[i+1] and
+// result-index bounds checks inside a [lo,hi) row loop. The callers'
+// shard drivers always satisfy it; a violation is a kernel bug. The
+// panic formatting lives in its own function so this guard stays under
+// the inline budget — only the inlined form feeds the prove pass.
+func boundsHint(lo, hi, startsLen, limit int) {
+	if lo < 0 || lo > hi || hi >= startsLen || hi > limit {
+		panicShard(lo, hi, startsLen, limit)
+	}
+}
+
+//go:noinline
+func panicShard(lo, hi, startsLen, limit int) {
+	panic(fmt.Sprintf("core: row shard [%d,%d) out of range (starts %d, limit %d)", lo, hi, startsLen, limit))
+}
 
 // MulVec computes A·v on the compressed batch.
 func (b *Batch) MulVec(v []float64) []float64 {
 	if len(v) != b.cols {
 		panic(fmt.Sprintf("core: MulVec dim mismatch %d != %d", len(v), b.cols))
 	}
+	r := make([]float64, b.rows)
 	if b.variant == SparseOnly {
-		r := make([]float64, b.rows)
 		b.mulVecSparseRows(v, r, 0, b.rows)
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.mulVecTree(t, sc, v, 1)
+	b.mulVecTree(t, sc, v, r, 1)
+	return r
 }
 
-// mulVecTree is A·v over an already-built decode tree. The scalar H scan
-// stays sequential for any worker count (each H[i] chains on its parent,
-// and |C'| ≪ |D|·avg-codes keeps it off the critical path); the D scan
-// shards over result rows when workers > 1.
-func (b *Batch) mulVecTree(t *DecodeTree, sc *opScratch, v []float64, workers int) []float64 {
+// mulVecTree is A·v over an already-built decode tree, writing into r
+// (length rows, fully overwritten). The scalar H scan stays sequential
+// for any worker count (each H[i] chains on its parent, and |C'| ≪
+// |D|·avg-codes keeps it off the critical path); the D scan shards over
+// result rows when workers > 1.
+func (b *Batch) mulVecTree(t *DecodeTree, sc *opScratch, v, r []float64, workers int) {
 	// Scan C' to compute H[i] = F(i) = C'[i].key·v + H[parent(i)]; parents
-	// precede children, so one forward pass suffices.
+	// precede children, so one forward pass suffices. key/parent/h are
+	// sliced to one shared length so only the data-dependent v lookup
+	// keeps its bounds check.
 	h := sc.floatBuf(t.Len())
-	for i := 1; i < t.Len(); i++ {
-		k := t.Key[i]
-		h[i] = k.Val*v[k.Col] + h[t.Parent[i]]
+	key := t.Key
+	par := t.Parent[:len(key)]
+	h = h[:len(key)]
+	for i := 1; i < len(key); i++ {
+		k := key[i]
+		h[i] = k.Val*v[k.Col] + h[par[i]]
 	}
-	r := make([]float64, b.rows)
 	if workers > 1 {
 		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulVecRows(h, r, lo, hi) })
 	} else {
 		b.mulVecRows(h, r, 0, b.rows)
 	}
-	return r
 }
 
 // mulVecRows scans D for result rows [lo,hi): R[i] = Σ_j H[D[i][j]]. Each
 // output row is an independent sequential reduction, so disjoint row
-// ranges compute bitwise-identical results concurrently.
+// ranges compute bitwise-identical results concurrently. The walk is flat
+// over Nodes/Starts with a 4-way unrolled single-chain accumulation: the
+// fold order is exactly the sequential one, only the loop control is
+// amortized over four elements. Advancing by re-slicing row (rather than
+// indexing with k) is what lets the compiler drop the row element checks;
+// only the data-dependent h gathers keep theirs.
 func (b *Batch) mulVecRows(h, r []float64, lo, hi int) {
+	nodes, starts := b.d.Nodes, b.d.Starts
+	boundsHint(lo, hi, len(starts), len(r))
 	for i := lo; i < hi; i++ {
+		row := nodes[starts[i]:starts[i+1]]
 		var s float64
-		for _, n := range b.d.row(i) {
-			s += h[n]
+		for len(row) >= 4 {
+			s += h[row[0]]
+			s += h[row[1]]
+			s += h[row[2]]
+			s += h[row[3]]
+			row = row[4:]
+		}
+		for len(row) >= 1 {
+			s += h[row[0]]
+			row = row[1:]
 		}
 		r[i] = s
 	}
 }
 
-// mulVecSparseRows is the SparseOnly A·v for result rows [lo,hi).
+// mulVecSparseRows is the SparseOnly A·v for result rows [lo,hi), the
+// same flat walk over srStarts/srCols/srVals.
 func (b *Batch) mulVecSparseRows(v, r []float64, lo, hi int) {
+	starts, cols, vals := b.srStarts, b.srCols, b.srVals
+	boundsHint(lo, hi, len(starts), len(r))
 	for i := lo; i < hi; i++ {
+		cs := cols[starts[i]:starts[i+1]]
+		vs := vals[starts[i]:starts[i+1]]
 		var s float64
-		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-			s += b.srVals[k] * v[b.srCols[k]]
+		for len(cs) >= 4 && len(vs) >= 4 {
+			s += vs[0] * v[cs[0]]
+			s += vs[1] * v[cs[1]]
+			s += vs[2] * v[cs[2]]
+			s += vs[3] * v[cs[3]]
+			cs, vs = cs[4:], vs[4:]
+		}
+		for len(cs) >= 1 && len(vs) >= 1 {
+			s += vs[0] * v[cs[0]]
+			cs, vs = cs[1:], vs[1:]
 		}
 		r[i] = s
 	}
@@ -85,21 +145,23 @@ func (b *Batch) MulMat(m *matrix.Dense) *matrix.Dense {
 	if m.Rows() != b.cols {
 		panic(fmt.Sprintf("core: MulMat dim mismatch %d != %d", m.Rows(), b.cols))
 	}
+	r := matrix.NewDense(b.rows, m.Cols())
 	if b.variant == SparseOnly {
-		r := matrix.NewDense(b.rows, m.Cols())
 		b.mulMatSparseRows(m, r, 0, b.rows)
 		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.mulMatTree(t, sc, m, 1)
+	b.mulMatTree(t, sc, m, r, 1)
+	return r
 }
 
-// mulMatTree is A·M over an already-built decode tree. With workers > 1
-// the forward H scan shards over the p result columns and the D scan over
-// result rows (see rightmul_parallel.go for why both are bitwise-exact).
-func (b *Batch) mulMatTree(t *DecodeTree, sc *opScratch, m *matrix.Dense, workers int) *matrix.Dense {
+// mulMatTree is A·M over an already-built decode tree, accumulating into
+// r (rows × p, caller-zeroed). With workers > 1 the forward H scan shards
+// over the p result columns and the D scan over result rows (see
+// rightmul_parallel.go for why both are bitwise-exact).
+func (b *Batch) mulMatTree(t *DecodeTree, sc *opScratch, m *matrix.Dense, r *matrix.Dense, workers int) {
 	p := m.Cols()
 	h := sc.floatBuf(t.Len() * p)
 	cw := workers
@@ -111,13 +173,11 @@ func (b *Batch) mulMatTree(t *DecodeTree, sc *opScratch, m *matrix.Dense, worker
 	} else {
 		b.mulMatForwardCols(t, m, h, p, 0, p)
 	}
-	r := matrix.NewDense(b.rows, p)
 	if workers > 1 {
 		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulMatRows(h, r, p, lo, hi) })
 	} else {
 		b.mulMatRows(h, r, p, 0, b.rows)
 	}
-	return r
 }
 
 // mulMatForwardCols runs the C' forward scan for result columns
@@ -125,43 +185,82 @@ func (b *Batch) mulMatTree(t *DecodeTree, sc *opScratch, m *matrix.Dense, worker
 // every H row depends only on column j of its parent row, so each
 // column's parent-chain DP is an independent sequential recurrence —
 // disjoint column ranges run concurrently with every per-element fold in
-// exactly the sequential order.
+// exactly the sequential order. The three operand windows are sliced to
+// one length and the column loop 4-way unrolled (columns are independent,
+// so unrolling cannot reassociate anything).
 func (b *Batch) mulMatForwardCols(t *DecodeTree, m *matrix.Dense, h []float64, p, clo, chi int) {
-	for i := 1; i < t.Len(); i++ {
-		k := t.Key[i]
-		mrow := m.Row(int(k.Col))
-		hi := h[i*p : i*p+p]
-		hp := h[int(t.Parent[i])*p : int(t.Parent[i])*p+p]
-		for j := clo; j < chi; j++ {
-			hi[j] = k.Val*mrow[j] + hp[j]
+	key, par := t.Key, t.Parent
+	for i := 1; i < len(key); i++ {
+		k := key[i]
+		hw := h[i*p+clo : i*p+chi]
+		hp := h[int(par[i])*p+clo : int(par[i])*p+chi]
+		mr := m.Row(int(k.Col))[clo:chi]
+		kv := k.Val
+		for len(hw) >= 4 && len(hp) >= 4 && len(mr) >= 4 {
+			hw[0] = kv*mr[0] + hp[0]
+			hw[1] = kv*mr[1] + hp[1]
+			hw[2] = kv*mr[2] + hp[2]
+			hw[3] = kv*mr[3] + hp[3]
+			hw, hp, mr = hw[4:], hp[4:], mr[4:]
+		}
+		for len(hw) >= 1 && len(hp) >= 1 && len(mr) >= 1 {
+			hw[0] = kv*mr[0] + hp[0]
+			hw, hp, mr = hw[1:], hp[1:], mr[1:]
 		}
 	}
 }
 
 // mulMatRows scans D for result rows [lo,hi); the loop over result
 // columns is innermost for cache friendliness, as the paper notes for
-// Algorithm 7. Each output row depends on one tuple of D only.
+// Algorithm 7. Each output row depends on one tuple of D only; per
+// column the adds land in node order, so the 4-way unroll over the
+// independent columns changes no fold.
 func (b *Batch) mulMatRows(h []float64, r *matrix.Dense, p, lo, hi int) {
+	nodes, starts := b.d.Nodes, b.d.Starts
+	boundsHint(lo, hi, len(starts), r.Rows())
 	for i := lo; i < hi; i++ {
 		ri := r.Row(i)
-		for _, n := range b.d.row(i) {
-			hn := h[int(n)*p : int(n)*p+p]
-			for j := range ri {
-				ri[j] += hn[j]
+		row := nodes[starts[i]:starts[i+1]]
+		for _, n := range row {
+			hn := h[int(n)*p : int(n)*p+len(ri)]
+			rw := ri
+			for len(rw) >= 4 && len(hn) >= 4 {
+				rw[0] += hn[0]
+				rw[1] += hn[1]
+				rw[2] += hn[2]
+				rw[3] += hn[3]
+				rw, hn = rw[4:], hn[4:]
+			}
+			for len(rw) >= 1 && len(hn) >= 1 {
+				rw[0] += hn[0]
+				rw, hn = rw[1:], hn[1:]
 			}
 		}
 	}
 }
 
-// mulMatSparseRows is the SparseOnly A·M for result rows [lo,hi).
+// mulMatSparseRows is the SparseOnly A·M for result rows [lo,hi): the
+// flat sparse walk with the per-column accumulation unrolled like
+// mulMatRows.
 func (b *Batch) mulMatSparseRows(m *matrix.Dense, r *matrix.Dense, lo, hi int) {
+	starts, cols, vals := b.srStarts, b.srCols, b.srVals
+	boundsHint(lo, hi, len(starts), r.Rows())
 	for i := lo; i < hi; i++ {
 		ri := r.Row(i)
-		for k := b.srStarts[i]; k < b.srStarts[i+1]; k++ {
-			val := b.srVals[k]
-			mrow := m.Row(int(b.srCols[k]))
-			for j, mv := range mrow {
-				ri[j] += val * mv
+		for k := starts[i]; k < starts[i+1]; k++ {
+			val := vals[k]
+			mr := m.Row(int(cols[k]))
+			rw := ri
+			for len(rw) >= 4 && len(mr) >= 4 {
+				rw[0] += val * mr[0]
+				rw[1] += val * mr[1]
+				rw[2] += val * mr[2]
+				rw[3] += val * mr[3]
+				rw, mr = rw[4:], mr[4:]
+			}
+			for len(rw) >= 1 && len(mr) >= 1 {
+				rw[0] += val * mr[0]
+				rw, mr = rw[1:], mr[1:]
 			}
 		}
 	}

@@ -81,27 +81,26 @@ func (b *Batch) MulVecParallel(v []float64, workers int) []float64 {
 		panic(fmt.Sprintf("core: MulVecParallel dim mismatch %d != %d", len(v), b.cols))
 	}
 	workers = rightWorkers(workers, b.rows)
+	r := make([]float64, b.rows)
 	if b.variant == SparseOnly {
-		return b.mulVecSparsePar(v, workers)
-	}
-	if workers == 1 {
-		return b.MulVec(v)
+		b.mulVecSparsePar(v, r, workers)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.mulVecTree(t, sc, v, workers)
+	b.mulVecTree(t, sc, v, r, workers)
+	return r
 }
 
-// mulVecSparsePar is the SparseOnly A·v with rows sharded.
-func (b *Batch) mulVecSparsePar(v []float64, workers int) []float64 {
-	r := make([]float64, b.rows)
+// mulVecSparsePar is the SparseOnly A·v with rows sharded, writing into r
+// (length rows, fully overwritten).
+func (b *Batch) mulVecSparsePar(v, r []float64, workers int) {
 	if workers > 1 {
 		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulVecSparseRows(v, r, lo, hi) })
 	} else {
 		b.mulVecSparseRows(v, r, 0, b.rows)
 	}
-	return r
 }
 
 // MulMatParallel computes A·M like MulMat with the C' forward scan
@@ -113,25 +112,24 @@ func (b *Batch) MulMatParallel(m *matrix.Dense, workers int) *matrix.Dense {
 		panic(fmt.Sprintf("core: MulMatParallel dim mismatch %d != %d", m.Rows(), b.cols))
 	}
 	workers = rightWorkers(workers, b.rows)
+	r := matrix.NewDense(b.rows, m.Cols())
 	if b.variant == SparseOnly {
-		return b.mulMatSparsePar(m, workers)
-	}
-	if workers == 1 {
-		return b.MulMat(m)
+		b.mulMatSparsePar(m, r, workers)
+		return r
 	}
 	sc := scratchPool.Get().(*opScratch)
 	defer scratchPool.Put(sc)
 	t := sc.buildTree(b.i, b.d)
-	return b.mulMatTree(t, sc, m, workers)
+	b.mulMatTree(t, sc, m, r, workers)
+	return r
 }
 
-// mulMatSparsePar is the SparseOnly A·M with rows sharded.
-func (b *Batch) mulMatSparsePar(m *matrix.Dense, workers int) *matrix.Dense {
-	r := matrix.NewDense(b.rows, m.Cols())
+// mulMatSparsePar is the SparseOnly A·M with rows sharded, accumulating
+// into r (rows × p, caller-zeroed).
+func (b *Batch) mulMatSparsePar(m *matrix.Dense, r *matrix.Dense, workers int) {
 	if workers > 1 {
 		forEachRowShard(b.rows, workers, func(lo, hi int) { b.mulMatSparseRows(m, r, lo, hi) })
 	} else {
 		b.mulMatSparseRows(m, r, 0, b.rows)
 	}
-	return r
 }

@@ -87,6 +87,26 @@ type KernelPlan interface {
 	MatMul(m *matrix.Dense, workers int) *matrix.Dense
 }
 
+// KernelPlanInto is optionally implemented by kernel plans whose kernels
+// can write into caller-owned destinations, eliminating the per-call
+// result allocation. A nil dst allocates (matching the KernelPlan
+// method); a non-nil dst must have the result's exact shape and is
+// returned. The bitwise contract carries over: for any dst and workers
+// value the result bits match the corresponding KernelPlan method, so a
+// training loop can reuse its gradient buffers across steps without
+// changing a trajectory.
+type KernelPlanInto interface {
+	KernelPlan
+	// MulVecInto computes A·v into dst (length rows, fully overwritten).
+	MulVecInto(dst, v []float64, workers int) []float64
+	// MulMatInto computes A·M into dst (rows × m.Cols(), zeroed first).
+	MulMatInto(dst *matrix.Dense, m *matrix.Dense, workers int) *matrix.Dense
+	// VecMulInto computes v·A into dst (length cols, zeroed first).
+	VecMulInto(dst, v []float64, workers int) []float64
+	// MatMulInto computes M·A into dst (m.Rows() × cols, zeroed first).
+	MatMulInto(dst *matrix.Dense, m *matrix.Dense, workers int) *matrix.Dense
+}
+
 // Encoder compresses a dense mini-batch with one scheme.
 type Encoder func(*matrix.Dense) CompressedMatrix
 

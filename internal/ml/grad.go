@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"toc/internal/formats"
 	"toc/internal/matrix"
@@ -41,6 +42,22 @@ func stepBuf(buf *[]float64, np int) []float64 {
 	return *buf
 }
 
+// linScratch holds the two per-call row vectors of linGrad (the A·w
+// scores and the residuals). Grad must stay safe for concurrent calls on
+// one model, so the buffers are pooled rather than model-owned.
+type linScratch struct {
+	s, r []float64
+}
+
+var linScratchPool = sync.Pool{New: func() any { return new(linScratch) }}
+
+func (sc *linScratch) vec(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
 // linGrad runs the shared GLM gradient shape — score the batch with A·w,
 // turn per-row residuals into r, aggregate with r·A — writing the flat
 // [dW..., dB] gradient into out and returning the mean loss. residual maps
@@ -49,21 +66,33 @@ func stepBuf(buf *[]float64, np int) []float64 {
 // supports it and share the caller's kernel plan (one decode-tree build
 // for the forward and backward passes); the gradient is bitwise
 // independent of both the worker count and the plan.
+//
+// When the plan writes into caller-owned buffers (formats.KernelPlanInto,
+// which TOC's plans implement), the whole gradient runs allocation-free:
+// the score and residual vectors come from a pool and the v·A aggregation
+// lands directly in out's weight slice (pinned by TestLinGradAllocs).
 func linGrad(x formats.CompressedMatrix, plan formats.KernelPlan, y, w []float64, bias, l2 float64,
 	workers int, out []float64, residual func(z, yi float64) (loss, r float64)) float64 {
 	n := float64(x.Rows())
-	s := mulVec(x, plan, w, workers)
+	sc := linScratchPool.Get().(*linScratch)
+	defer linScratchPool.Put(sc)
+	s := mulVecInto(sc.vec(&sc.s, x.Rows()), x, plan, w, workers)
 	var loss, rsum float64
-	r := make([]float64, len(s))
+	r := sc.vec(&sc.r, len(s))
 	for i := range s {
 		li, ri := residual(s[i]+bias, y[i])
 		loss += li
+		rv := 0.0
 		if ri != 0 {
-			r[i] = ri / n
-			rsum += r[i]
+			rv = ri / n
+			rsum += rv
 		}
+		r[i] = rv
 	}
-	g := vecMul(x, plan, r, workers)
+	// g aliases out's weight slice on the Into path, so the l2 fold below
+	// reads each g[j] before overwriting that same element — identical
+	// arithmetic to folding from a fresh vector.
+	g := vecMulInto(out[:len(w):len(w)], x, plan, r, workers)
 	for j := range g {
 		out[j] = g[j] + l2*w[j]
 	}

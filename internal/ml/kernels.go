@@ -39,6 +39,25 @@ func planFor(x formats.CompressedMatrix) formats.KernelPlan {
 	return nil
 }
 
+// mulVecInto is mulVec writing into dst when the plan supports
+// caller-owned destinations (formats.KernelPlanInto); otherwise it falls
+// back to the allocating path and returns the fresh slice. Callers treat
+// the return value as the result either way.
+func mulVecInto(dst []float64, x formats.CompressedMatrix, plan formats.KernelPlan, v []float64, workers int) []float64 {
+	if pi, ok := plan.(formats.KernelPlanInto); ok {
+		return pi.MulVecInto(dst, v, workers)
+	}
+	return mulVec(x, plan, v, workers)
+}
+
+// vecMulInto is vecMul writing into dst when the plan supports it.
+func vecMulInto(dst []float64, x formats.CompressedMatrix, plan formats.KernelPlan, v []float64, workers int) []float64 {
+	if pi, ok := plan.(formats.KernelPlanInto); ok {
+		return pi.VecMulInto(dst, v, workers)
+	}
+	return vecMul(x, plan, v, workers)
+}
+
 func mulVec(x formats.CompressedMatrix, plan formats.KernelPlan, v []float64, workers int) []float64 {
 	if plan != nil {
 		return plan.MulVec(v, workers)

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. sync.Pool deliberately drops items at random under it, so
+// allocation pins that depend on pool hits cannot hold; such tests
+// skip when this is true and stay enforced by the non-race suite.
+const RaceEnabled = true
