@@ -50,6 +50,7 @@ func BenchmarkScalingEngine(b *testing.B)         { runExperiment(b, "scaling", 
 func BenchmarkSpillShardScaling(b *testing.B)     { runExperiment(b, "spillscale", 0.25) }
 func BenchmarkRightMulScaling(b *testing.B)       { runExperiment(b, "rightmul", 0.25) }
 func BenchmarkAsyncScaling(b *testing.B)          { runExperiment(b, "asyncscale", 0.25) }
+func BenchmarkNetScaling(b *testing.B)            { runExperiment(b, "netscale", 0.25) }
 
 // --- micro-benchmarks on a census-like 250-row mini-batch ---
 

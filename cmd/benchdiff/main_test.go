@@ -117,6 +117,45 @@ func TestCompareLowerIsBetter(t *testing.T) {
 	}
 }
 
+// An extra metric gates independently of the primary: a run whose
+// speedup holds but whose wire ratio crept up must still fail.
+func TestCompareExtraMetric(t *testing.T) {
+	csv := `experiment,codec,link_mbps,epoch_ms,speedup_vs_dense,wire_ratio
+netscale,dense,25,500,1.00,1.0002
+netscale,topk:0.01,25,210,2.38,0.0230
+`
+	tables, err := parseCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &baseline{
+		Experiment: "netscale",
+		Metric:     "speedup_vs_dense",
+		Direction:  "higher",
+		Keys:       []string{"codec", "link_mbps"},
+		Extras:     []extraMetric{{Metric: "wire_ratio", Direction: "lower", Rows: map[string]float64{"dense/25": 1.0002, "topk:0.01/25": 0.0153}}},
+		Rows:       map[string]float64{"dense/25": 1.0, "topk:0.01/25": 2.34},
+	}
+	current, err := metricRows(b, tables["netscale"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails, _ := compare(b, current, 0.2); len(fails) != 0 {
+		t.Errorf("primary metric within threshold failed: %v", fails)
+	}
+	ex := b.Extras[0]
+	exCur, err := metricRowsFor(ex.Metric, b.Keys, tables["netscale"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.0230 measured vs 0.0153 committed is +50% wire bytes: regression
+	// on the lower-is-better extra even though the speedup held.
+	fails, _ := compareMetric(b.Experiment, ex.Metric, ex.Direction, ex.Rows, exCur, 0.2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "wire_ratio") {
+		t.Errorf("wire-ratio regression not caught: %v", fails)
+	}
+}
+
 // Bad metric or key columns surface as errors, not silent passes.
 func TestMetricRowsErrors(t *testing.T) {
 	tables := parsed(t)

@@ -63,10 +63,12 @@ import (
 	"hash/crc32"
 	"log"
 	"math"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -87,6 +89,135 @@ func paramsCRC(m toc.Model) (uint32, bool) {
 		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(p))
 	}
 	return crc32.ChecksumIEEE(buf), true
+}
+
+// distConfig carries the flag values the distributed mode needs.
+type distConfig struct {
+	d          *toc.Dataset
+	n          int
+	codecSpec  string
+	linkMbps   float64
+	modelName  string
+	method     string
+	batchSize  int
+	epochs     int
+	lr, hidden float64
+	seed       int64
+	staleness  int
+	ckpt       *toc.CheckpointWriter
+	ckptEvery  int
+	resume     *toc.CheckpointState
+	ckptDir    string
+}
+
+// runDist trains with the parameter-server stack: one DistServer owns
+// the model and N trainers exchange codec-compressed gradients with it
+// over loopback TCP — the full net/rpc wire path, in one process.
+func runDist(cfg distConfig) {
+	codec, err := toc.ParseGradCodec(cfg.codecSpec, cfg.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := toc.NewModel(cfg.modelName, cfg.d.X.Cols(), cfg.d.Classes, cfg.hidden, cfg.seed+7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, ok := model.(toc.SnapshotModel)
+	if !ok {
+		log.Fatalf("model %q cannot train distributed", cfg.modelName)
+	}
+	src := toc.NewMemorySource(cfg.d, cfg.batchSize, cfg.method)
+	link := toc.NewDistLinkMbps(cfg.linkMbps)
+	srv, err := toc.NewDistServer(toc.DistServerConfig{
+		Epochs: cfg.epochs, NumBatches: src.NumBatches(), LR: cfg.lr,
+		Seed: cfg.seed, Staleness: cfg.staleness, Codec: codec, Link: link,
+		Checkpoint: cfg.ckpt, CheckpointEvery: cfg.ckptEvery, Resume: cfg.resume,
+	}, sm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	if cfg.ckpt != nil {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			log.Print("signal received: halting after the in-flight updates")
+			srv.Halt()
+		}()
+	}
+
+	bound := "unbounded"
+	if cfg.staleness >= 0 {
+		bound = fmt.Sprint(cfg.staleness)
+	}
+	linkDesc := "unmetered link"
+	if link != nil {
+		linkDesc = fmt.Sprintf("%.0f Mbit/s link", cfg.linkMbps)
+	}
+	fmt.Printf("dist: %d trainers, codec %s, staleness %s, %s, %d batches/epoch\n",
+		cfg.n, codec.Name(), bound, linkDesc, src.NumBatches())
+
+	// Trainers are goroutines dialing real TCP connections; a trainer
+	// model is a fresh clone (the Join handshake overwrites its
+	// parameters with the server image anyway).
+	errs := make([]error, cfg.n)
+	trainers := make([]*toc.DistTrainer, cfg.n)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.n; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainers[i] = toc.NewDistTrainer(conn, sm.Clone(), src,
+			toc.DistTrainerConfig{Codec: codec.Clone()})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = trainers[i].Run()
+		}(i)
+	}
+	res, werr := srv.Wait()
+	halted := errors.Is(werr, toc.ErrHalted)
+	if werr != nil && !halted {
+		log.Fatal(werr)
+	}
+	ln.Close()
+	wg.Wait()
+
+	fmt.Println("epoch  loss      elapsed_ms")
+	for e, loss := range res.EpochLoss {
+		fmt.Printf("%5d  %.6f  %10.1f\n", e+1, loss, res.EpochTime[e].Seconds()*1e3)
+	}
+	crashed := 0
+	for i, e := range errs {
+		if e != nil {
+			crashed++
+			fmt.Printf("trainer %d crashed: %v\n", i, e)
+		}
+	}
+	st := srv.Stats()
+	fmt.Printf("dist: %d updates, %d rejected, %d duplicates, staleness max %d mean %.2f\n",
+		st.Updates, st.Rejected, st.Duplicates, st.MaxStaleness, st.MeanStaleness())
+	fmt.Printf("dist crash recovery: %d trainers crashed, %d disconnects, %d positions reassigned, run completed\n",
+		crashed, st.Disconnects, st.Reassigned)
+	fmt.Printf("dist wire: %d KB up, %d KB down, ratio %.4f of dense\n",
+		st.UpBytes/1024, st.DownBytes/1024, st.WireRatio())
+	fmt.Printf("total %.1fms, final error %.3f\n",
+		res.Total.Seconds()*1e3, toc.EvaluateError(model, src))
+	if crc, ok := paramsCRC(model); ok {
+		fmt.Printf("final params crc32 %08x\n", crc)
+	}
+	if halted {
+		if err := cfg.ckpt.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("halted: final checkpoint in %s; rerun with -resume to continue\n", cfg.ckptDir)
+	}
 }
 
 func main() {
@@ -124,6 +255,9 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in parameter updates (0 = once per epoch)")
 		resumeRun  = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir, recovering the spill store from its manifest instead of re-ingesting")
 		faults     = flag.String("faultpoint", "", "arm fault-injection points, e.g. checkpoint.rename=crash:2 (testing only)")
+		distN      = flag.Int("dist", 0, "run distributed: N trainer processes exchanging compressed gradients with a parameter server over loopback TCP (uses -staleness as the admission bound)")
+		codecSpec  = flag.String("codec", "dense", "dist mode: gradient codec — dense, topk:<ratio> or dsq:<bits>")
+		linkMbps   = flag.Float64("link-mbps", 0, "dist mode: simulated symmetric link bandwidth in Mbit/s (0 = unmetered)")
 	)
 	flag.Parse()
 	if *faults != "" {
@@ -140,6 +274,12 @@ func main() {
 	}
 	if len(elasticEvents) > 0 && !*async {
 		log.Fatal("-elastic needs -async: only the bounded-staleness engine resizes mid-run")
+	}
+	if *distN > 0 && *async {
+		log.Fatal("-dist and -async are exclusive: the parameter server replaces the local async engine")
+	}
+	if *distN == 0 && (*codecSpec != "dense" || *linkMbps != 0) {
+		log.Fatal("-codec and -link-mbps need -dist")
 	}
 
 	d, err := toc.GenerateDataset(*dataset, *rows, *seed)
@@ -210,6 +350,17 @@ func main() {
 				log.Fatal(err) // corrupt newest checkpoint: loud, no fallback
 			}
 		}
+	}
+
+	if *distN > 0 {
+		runDist(distConfig{
+			d: d, n: *distN, codecSpec: *codecSpec, linkMbps: *linkMbps,
+			modelName: *modelName, method: *method, batchSize: *batchSize,
+			epochs: *epochs, lr: *lr, hidden: *hidden, seed: *seed,
+			staleness: *staleness, ckpt: ckpt, ckptEvery: *ckptEvery,
+			resume: resumeState, ckptDir: *ckptDir,
+		})
+		return
 	}
 
 	var store *toc.Store

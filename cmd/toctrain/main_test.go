@@ -123,6 +123,57 @@ func TestCrashFaultpointThenResumeMatches(t *testing.T) {
 	}
 }
 
+// A single dense trainer behind the parameter server must walk the
+// exact trajectory of the local async engine: same final params CRC as
+// "-async -workers 1" at the same staleness bound.
+func TestDistSingleDenseMatchesAsyncCRC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildBinary(t)
+	args := []string{
+		"-dataset", "mnist", "-rows", "400", "-model", "lr",
+		"-epochs", "3", "-seed", "11", "-staleness", "0",
+	}
+	local := runToctrain(t, bin, append(args, "-async", "-workers", "1")...)
+	dist := runToctrain(t, bin, append(args, "-dist", "1")...)
+	lc, dc := paramsCRCOf(t, local), paramsCRCOf(t, dist)
+	if lc != dc {
+		t.Fatalf("dist dense CRC %s, local async CRC %s (not bitwise identical)", dc, lc)
+	}
+	if !strings.Contains(dist, "0 rejected") {
+		t.Fatalf("single dense trainer saw rejections:\n%s", dist)
+	}
+}
+
+// A trainer killed mid-run by a faultpoint must not sink the run: the
+// server requeues its positions and the survivor finishes the schedule.
+// The printed counters are what the CI dist job grep-gates.
+func TestDistTrainerCrashRunCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildBinary(t)
+	out := runToctrain(t, bin,
+		"-dataset", "mnist", "-rows", "400", "-model", "lr",
+		"-epochs", "3", "-seed", "11", "-staleness", "2",
+		"-dist", "2", "-codec", "topk:0.05",
+		"-faultpoint", "dist.trainer.compute=errorAfter:4")
+	for _, want := range []string{
+		"1 trainers crashed",
+		"1 disconnects",
+		"positions reassigned, run completed",
+		"final params crc32",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("crash run output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 positions reassigned") {
+		t.Fatalf("crash at an assigned position must reassign it:\n%s", out)
+	}
+}
+
 func asExitError(err error, target **exec.ExitError) bool {
 	ee, ok := err.(*exec.ExitError)
 	if ok {

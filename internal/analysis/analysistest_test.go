@@ -106,6 +106,7 @@ func TestDetCheckFixture(t *testing.T) { runFixture(t, DetCheck, "detcheck") }
 func TestDetCheckAppliesOnlyToDetPackages(t *testing.T) {
 	for _, pkg := range []string{
 		"toc/internal/core", "toc/internal/engine", "toc/internal/ml", "toc/internal/checkpoint",
+		"toc/internal/dist",
 	} {
 		if !DetCheck.Applies(pkg) {
 			t.Errorf("DetCheck must apply to %s", pkg)

@@ -16,6 +16,7 @@ var DetPackages = map[string]bool{
 	"toc/internal/engine":     true,
 	"toc/internal/ml":         true,
 	"toc/internal/checkpoint": true,
+	"toc/internal/dist":       true,
 }
 
 // DetCheck enforces the determinism rules in DetPackages:

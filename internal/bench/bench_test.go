@@ -9,8 +9,8 @@ import (
 
 func TestRegistryHasEveryPaperArtifact(t *testing.T) {
 	want := []string{"asyncscale", "fig2", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "kernelspeed", "rightmul",
-		"scaling", "spillscale", "table6", "table7"}
+		"fig9", "fig10", "fig11", "fig12", "kernelspeed", "netscale",
+		"rightmul", "scaling", "spillscale", "table6", "table7"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %q not registered", id)
@@ -159,6 +159,59 @@ func TestAsyncScaleShapes(t *testing.T) {
 	// 0.95 only filters jitter.
 	if async8 >= sync8*0.95 {
 		t.Errorf("workers=8: async staleness-8 epoch %.0fms not faster than sync barrier %.0fms", async8, sync8)
+	}
+}
+
+// The netscale acceptance shape: on the slow link the compressed codecs
+// must beat dense (their payloads are a few percent of the dense image,
+// and the link is the bottleneck there), the measured wire ratios must
+// sit in their codecs' expected bands, and dense must ship ~exactly its
+// own byte count. Sleeps dominate every run, so the speedups survive CI
+// jitter.
+func TestNetScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	e, _ := Get("netscale")
+	table, err := e.Run(Config{Scale: 0.4, Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, c := range table.Columns {
+		col[c] = i
+	}
+	for _, row := range table.Rows {
+		codec, link := row[col["codec"]], row[col["link_mbps"]]
+		speedup, err := strconv.ParseFloat(row[col["speedup_vs_dense"]], 64)
+		if err != nil {
+			t.Fatalf("bad speedup %q", row[col["speedup_vs_dense"]])
+		}
+		ratio, err := strconv.ParseFloat(row[col["wire_ratio"]], 64)
+		if err != nil {
+			t.Fatalf("bad wire_ratio %q", row[col["wire_ratio"]])
+		}
+		switch codec {
+		case "dense":
+			if speedup != 1.0 {
+				t.Errorf("dense/%s: speedup %v, want its own baseline 1.00", link, speedup)
+			}
+			if ratio < 0.99 || ratio > 1.01 {
+				t.Errorf("dense/%s: wire ratio %v, want ~1", link, ratio)
+			}
+		case "topk:0.01":
+			if ratio > 0.05 {
+				t.Errorf("topk/%s: wire ratio %v exceeds 5%% of dense", link, ratio)
+			}
+		default: // dsq:4
+			if ratio > 0.10 {
+				t.Errorf("dsq/%s: wire ratio %v exceeds 10%% of dense", link, ratio)
+			}
+		}
+		// The regime's headline: on the wire-bound link, compression wins.
+		if link == "25" && codec != "dense" && speedup < 1.3 {
+			t.Errorf("%s/%s: speedup %v, want the compressed codec to beat dense on the slow link", codec, link, speedup)
+		}
 	}
 }
 

@@ -44,6 +44,8 @@ const (
 	KindSync Kind = 1
 	// KindAsync is the bounded-staleness async engine.
 	KindAsync Kind = 2
+	// KindDist is the distributed parameter server (internal/dist).
+	KindDist Kind = 3
 )
 
 func (k Kind) String() string {
@@ -52,6 +54,8 @@ func (k Kind) String() string {
 		return "sync"
 	case KindAsync:
 		return "async"
+	case KindDist:
+		return "dist"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -111,7 +115,7 @@ type State struct {
 // checkpoint files: applied updates for async, visited batch positions
 // for sync.
 func (s *State) Step() int64 {
-	if s.Kind == KindAsync {
+	if s.Kind == KindAsync || s.Kind == KindDist {
 		return s.Clock
 	}
 	return int64(s.Epoch)*int64(s.NumBatches) + int64(s.Pos)
@@ -195,7 +199,7 @@ func Decode(img []byte) (*State, error) {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", img[4])
 	}
 	kind := Kind(img[5])
-	if kind != KindSync && kind != KindAsync {
+	if kind != KindSync && kind != KindAsync && kind != KindDist {
 		return nil, fmt.Errorf("checkpoint: unknown engine kind %d", img[5])
 	}
 	flags := img[6]

@@ -1,0 +1,206 @@
+// Package dist is distributed data-parallel training: N trainer
+// processes exchange compressed gradients with a parameter server over
+// net/rpc (any io.ReadWriteCloser — TCP in cmd/toctrain, net.Pipe in
+// tests), reusing the async engine's versioned-snapshot + bounded-
+// staleness protocol as the wire contract. The server owns the model
+// and the update clock; trainers pull versioned parameter images,
+// compute mini-batch gradients against them, and push the gradients
+// back. A push whose snapshot version trails the server clock by more
+// than the staleness bound is rejected and recomputed against fresh
+// parameters — the same admission rule the local async updater applies,
+// carried across the wire.
+//
+// Gradient traffic is compressed by a GradCodec on both directions:
+// dense (the exact baseline — a single trainer at staleness 0 walks the
+// serial trajectory bitwise), top-k sparsification with error-feedback
+// residuals (ScaleCom-style), and double-pass error-compensated
+// quantization (DoubleSqueeze-style, the server compressing its
+// downlink deltas per trainer with its own residual). A simulated link
+// (the storage layer's SharedBucket token-bucket idea applied to a NIC)
+// converts bytes saved into wall-clock saved, so the netscale bench
+// regime can gate the compression-ratio × convergence trade-off in CI.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"toc/internal/bitpack"
+)
+
+// Payload tags make every codec's wire image self-describing, so a
+// payload decoded by the wrong codec (or fuzzed garbage) fails loudly
+// instead of scattering noise into the parameters.
+const (
+	tagDense = 'D'
+	tagTopK  = 'K'
+	tagDSQ   = 'Q'
+)
+
+// GradCodec compresses the two directions of parameter-server traffic.
+// Encode methods append to dst and return the extended slice; Decode
+// methods validate untrusted wire bytes and never panic on malformed
+// input (FuzzGradCodecDecode leans on this).
+//
+// A codec instance is stateful — error-feedback residuals accumulate
+// what past payloads dropped — and is confined to one goroutine: the
+// trainer owns its uplink instance, the server owns one downlink clone
+// per trainer.
+type GradCodec interface {
+	// Name is the flag-friendly spec ("dense", "topk:0.01", "dsq:4");
+	// ParseCodec(Name(), seed) reconstructs an equivalent codec.
+	Name() string
+
+	// EncodeGrad compresses one gradient for the uplink, folding the
+	// error-feedback residual in first and retaining whatever the
+	// payload drops, so the residual plus everything delivered sums to
+	// the exact gradient history.
+	EncodeGrad(grad []float64, dst []byte) []byte
+	// ReturnGrad folds an encoded-but-never-applied payload back into
+	// the residual — the reject-recompute path, where the server refused
+	// the push and the information the payload carried must not be lost.
+	ReturnGrad(payload []byte) error
+	// DecodeGrad reconstructs a full (dense) gradient vector from an
+	// uplink payload into out, which sizes the expected vector.
+	DecodeGrad(payload []byte, out []float64) error
+
+	// EncodeSnap compresses the server→trainer parameter image: the
+	// delta of params against prev (the image the receiving trainer
+	// currently holds) — DoubleSqueeze's second compression pass,
+	// error-compensated because prev is advanced by exactly what the
+	// payload carries, so whatever a lossy payload dropped stays in the
+	// next delta. The dense codec ships the full image instead — exact,
+	// which is what anchors the bitwise-identity contract.
+	EncodeSnap(params, prev []float64, dst []byte) []byte
+	// DecodeSnap applies a downlink payload to the trainer's image.
+	DecodeSnap(payload []byte, params []float64) error
+
+	// Clone returns a fresh codec of the same spec with empty residual
+	// state; the server clones its configured codec once per trainer.
+	Clone() GradCodec
+}
+
+// ParseCodec resolves a codec spec: "dense", "topk:<ratio>" (fraction
+// of coordinates kept, e.g. topk:0.01), or "dsq:<bits>" (quantization
+// width, 2–8 bits per coordinate). seed drives the only randomness any
+// codec uses — dsq's stochastic rounding — through a seeded stream, so
+// runs stay reproducible.
+func ParseCodec(spec string, seed int64) (GradCodec, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "", "dense":
+		return &Dense{}, nil
+	case "topk":
+		ratio := 0.01
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dist: bad topk ratio %q: %v", arg, err)
+			}
+			ratio = v
+		}
+		if !(ratio > 0 && ratio <= 1) {
+			return nil, fmt.Errorf("dist: topk ratio %v out of (0, 1]", ratio)
+		}
+		return &TopK{ratio: ratio}, nil
+	case "dsq":
+		bits := 4
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("dist: bad dsq bits %q: %v", arg, err)
+			}
+			bits = v
+		}
+		if bits < 2 || bits > 8 {
+			return nil, fmt.Errorf("dist: dsq bits %d out of [2, 8]", bits)
+		}
+		return &DSQ{bits: bits, seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown codec %q (want dense, topk:<ratio> or dsq:<bits>)", spec)
+	}
+}
+
+// header appends a payload's tag and coordinate count.
+func header(dst []byte, tag byte, np int) []byte {
+	dst = append(dst, tag)
+	return bitpack.AppendUvarint(dst, uint64(np))
+}
+
+// readHeader validates a payload's tag and coordinate count against the
+// caller's vector and returns the remaining bytes.
+func readHeader(payload []byte, tag byte, np int) ([]byte, error) {
+	if len(payload) == 0 || payload[0] != tag {
+		return nil, fmt.Errorf("dist: payload is not a %q image", tag)
+	}
+	n, used, err := bitpack.Uvarint(payload[1:])
+	if err != nil {
+		return nil, fmt.Errorf("dist: payload length: %v", err)
+	}
+	if n != uint64(np) {
+		return nil, fmt.Errorf("dist: payload carries %d coordinates, vector has %d", n, np)
+	}
+	return payload[1+used:], nil
+}
+
+// appendFloats appends raw little-endian float64 bits.
+func appendFloats(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// Dense is the uncompressed baseline codec: raw float64 coordinates in
+// both directions, and the downlink ships the full parameter image (not
+// a delta), so what the trainer decodes is bit-for-bit what the server
+// holds — the property the single-trainer identity tests anchor on.
+type Dense struct{}
+
+// Name implements GradCodec.
+func (*Dense) Name() string { return "dense" }
+
+// Clone implements GradCodec; Dense carries no residual state.
+func (*Dense) Clone() GradCodec { return &Dense{} }
+
+// EncodeGrad implements GradCodec: the exact gradient, no residual.
+func (*Dense) EncodeGrad(grad []float64, dst []byte) []byte {
+	return appendFloats(header(dst, tagDense, len(grad)), grad)
+}
+
+// ReturnGrad implements GradCodec: a dense payload dropped nothing, so
+// there is nothing to feed back.
+func (*Dense) ReturnGrad([]byte) error { return nil }
+
+// DecodeGrad implements GradCodec.
+func (*Dense) DecodeGrad(payload []byte, out []float64) error {
+	return denseDecode(payload, out)
+}
+
+// EncodeSnap implements GradCodec: the full parameter image, exact.
+func (d *Dense) EncodeSnap(params, prev []float64, dst []byte) []byte {
+	copy(prev, params)
+	return d.EncodeGrad(params, dst)
+}
+
+// DecodeSnap implements GradCodec: overwrite with the exact image.
+func (*Dense) DecodeSnap(payload []byte, params []float64) error {
+	return denseDecode(payload, params)
+}
+
+func denseDecode(payload []byte, out []float64) error {
+	body, err := readHeader(payload, tagDense, len(out))
+	if err != nil {
+		return err
+	}
+	if len(body) != 8*len(out) {
+		return fmt.Errorf("dist: dense payload body is %d bytes, want %d", len(body), 8*len(out))
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return nil
+}

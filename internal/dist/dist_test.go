@@ -1,0 +1,494 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"toc/internal/checkpoint"
+	"toc/internal/data"
+	"toc/internal/engine"
+	"toc/internal/faultpoint"
+	"toc/internal/formats"
+	"toc/internal/ml"
+)
+
+func testSource(t testing.TB, name string, rows int) (*data.Dataset, *ml.MemorySource) {
+	t.Helper()
+	d, err := data.Generate(name, rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ShuffleOnce(2)
+	return d, ml.NewMemorySource(d, 50, formats.MustGet("TOC"))
+}
+
+func newSnapshotModel(t testing.TB, name string, d *data.Dataset, seed int64) ml.SnapshotModel {
+	t.Helper()
+	m, err := ml.NewModel(name, d.X.Cols(), d.Classes, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := m.(ml.SnapshotModel)
+	if !ok {
+		t.Fatalf("model %q (%T) does not implement SnapshotModel", name, m)
+	}
+	return sm
+}
+
+func paramsOf(m ml.SnapshotModel) []float64 {
+	out := make([]float64, m.NumParams())
+	m.Params(out)
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// runCluster wires n trainers to srv over in-process pipes, runs the
+// schedule to completion, and returns the result, the server error, the
+// per-trainer Run errors, and the trainers.
+func runCluster(t *testing.T, srv *Server, n int, mk func(i int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig)) (*ml.TrainResult, error, []error, []*Trainer) {
+	t.Helper()
+	trainers := make([]*Trainer, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		m, src, cfg := mk(i)
+		client, server := net.Pipe()
+		go srv.ServeConn(server)
+		trainers[i] = NewTrainer(client, m, src, cfg)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = trainers[i].Run()
+		}(i)
+	}
+	res, err := srv.Wait()
+	wg.Wait()
+	return res, err, errs, trainers
+}
+
+// The tentpole identity contract: one trainer, dense codec, staleness 0
+// walks the local async engine's serial trajectory bitwise — parameters,
+// per-step loss log, and epoch losses.
+func TestSingleTrainerDenseMatchesAsyncBitwise(t *testing.T) {
+	for _, shuffle := range []bool{false, true} {
+		d, src := testSource(t, "mnist", 400)
+
+		var asyncSteps []float64
+		a := engine.NewAsync(engine.AsyncConfig{
+			Workers: 1, Staleness: 0, Seed: 11, Shuffle: shuffle,
+			OnStep: func(step int64, loss float64) { asyncSteps = append(asyncSteps, loss) },
+		})
+		am := newSnapshotModel(t, "lr", d, 13)
+		resA, err := a.Train(am, src, 3, 0.2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var distSteps []float64
+		sm := newSnapshotModel(t, "lr", d, 13)
+		srv, err := NewServer(ServerConfig{
+			Epochs: 3, NumBatches: src.NumBatches(), LR: 0.2,
+			Seed: 11, Shuffle: shuffle, Staleness: 0,
+			OnStep: func(step int64, loss float64) { distSteps = append(distSteps, loss) },
+		}, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resD, werr, errs, _ := runCluster(t, srv, 1, func(int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig) {
+			return newSnapshotModel(t, "lr", d, 13), src, TrainerConfig{}
+		})
+		if werr != nil {
+			t.Fatalf("shuffle=%v: %v", shuffle, werr)
+		}
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("shuffle=%v: trainer %d: %v", shuffle, i, e)
+			}
+		}
+		if diff := maxAbsDiff(paramsOf(am), paramsOf(sm)); diff != 0 {
+			t.Errorf("shuffle=%v: params diverge from async by %g (want bitwise identity)", shuffle, diff)
+		}
+		if len(distSteps) != len(asyncSteps) {
+			t.Fatalf("shuffle=%v: %d dist steps, async logged %d", shuffle, len(distSteps), len(asyncSteps))
+		}
+		for i := range asyncSteps {
+			if math.Float64bits(distSteps[i]) != math.Float64bits(asyncSteps[i]) {
+				t.Fatalf("shuffle=%v: step %d loss %v != async %v (want bitwise identity)",
+					shuffle, i, distSteps[i], asyncSteps[i])
+			}
+		}
+		for e := range resA.EpochLoss {
+			if math.Float64bits(resA.EpochLoss[e]) != math.Float64bits(resD.EpochLoss[e]) {
+				t.Errorf("shuffle=%v: epoch %d loss %v != async %v (want bitwise identity)",
+					shuffle, e, resD.EpochLoss[e], resA.EpochLoss[e])
+			}
+		}
+		st := srv.Stats()
+		if want := int64(3 * src.NumBatches()); st.Updates != want {
+			t.Errorf("shuffle=%v: %d updates, want %d", shuffle, st.Updates, want)
+		}
+		if st.MaxStaleness != 0 {
+			t.Errorf("shuffle=%v: max staleness %d under bound 0", shuffle, st.MaxStaleness)
+		}
+		if st.Rejected != 0 {
+			t.Errorf("shuffle=%v: %d rejections with slack 0 (pull policy guarantees admission)", shuffle, st.Rejected)
+		}
+	}
+}
+
+// Multiple trainers under a bounded staleness window: every position
+// applies exactly once, no admitted gradient exceeds the bound, and the
+// run converges.
+func TestMultiTrainerBoundedStaleness(t *testing.T) {
+	const bound = 3
+	d, src := testSource(t, "census", 500)
+	sm := newSnapshotModel(t, "lr", d, 3)
+	srv, err := NewServer(ServerConfig{
+		Epochs: 3, NumBatches: src.NumBatches(), LR: 0.2, Staleness: bound,
+	}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, werr, errs, _ := runCluster(t, srv, 4, func(int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig) {
+		return newSnapshotModel(t, "lr", d, 3), src, TrainerConfig{}
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("trainer %d: %v", i, e)
+		}
+	}
+	st := srv.Stats()
+	if want := int64(3 * src.NumBatches()); st.Updates != want {
+		t.Errorf("%d updates, want %d", st.Updates, want)
+	}
+	if st.MaxStaleness > bound {
+		t.Errorf("max staleness %d exceeds bound %d", st.MaxStaleness, bound)
+	}
+	if st.Joined != 4 || st.Left != 4 || st.Disconnects != 0 {
+		t.Errorf("membership joined=%d left=%d disconnects=%d, want 4/4/0", st.Joined, st.Left, st.Disconnects)
+	}
+	if len(res.EpochLoss) != 3 || !(res.EpochLoss[2] < res.EpochLoss[0]) {
+		t.Errorf("epoch losses %v do not decrease", res.EpochLoss)
+	}
+}
+
+// PullSlack makes a trainer push snapshots the bound forbids, forcing
+// the server's reject path; the trainer recomputes against a fresh pull
+// and the run still applies every position exactly once.
+func TestRejectRecompute(t *testing.T) {
+	const bound = 1
+	d, src := testSource(t, "census", 400)
+	sm := newSnapshotModel(t, "lr", d, 3)
+	srv, err := NewServer(ServerConfig{
+		Epochs: 2, NumBatches: src.NumBatches(), LR: 0.2, Staleness: bound,
+	}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr, errs, trainers := runCluster(t, srv, 1, func(int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig) {
+		return newSnapshotModel(t, "lr", d, 3), src, TrainerConfig{PullSlack: 2}
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	st := srv.Stats()
+	if st.Rejected == 0 {
+		t.Error("no rejections despite PullSlack over-holding stale snapshots")
+	}
+	if st.MaxStaleness > bound {
+		t.Errorf("max admitted staleness %d exceeds bound %d", st.MaxStaleness, bound)
+	}
+	if want := int64(2 * src.NumBatches()); st.Updates != want {
+		t.Errorf("%d updates, want %d", st.Updates, want)
+	}
+	if ts := trainers[0].Stats(); ts.Recomputes != st.Rejected {
+		t.Errorf("trainer recomputed %d, server rejected %d", ts.Recomputes, st.Rejected)
+	}
+}
+
+// A trainer that dies mid-run (injected) must not sink the run: the
+// server requeues its in-flight position and the surviving trainer
+// finishes the whole schedule.
+func TestTrainerCrashReassignment(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.ArmError("dist.trainer.compute", 5)
+	d, src := testSource(t, "census", 400)
+	sm := newSnapshotModel(t, "lr", d, 3)
+	srv, err := NewServer(ServerConfig{
+		Epochs: 2, NumBatches: src.NumBatches(), LR: 0.2, Staleness: 4,
+	}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr, errs, _ := runCluster(t, srv, 2, func(int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig) {
+		return newSnapshotModel(t, "lr", d, 3), src, TrainerConfig{}
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	crashed := 0
+	for _, e := range errs {
+		if e != nil {
+			var ferr *faultpoint.Error
+			if !errors.As(e, &ferr) {
+				t.Fatalf("trainer error %v is not the injected fault", e)
+			}
+			crashed++
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("%d trainers crashed, armed exactly one", crashed)
+	}
+	st := srv.Stats()
+	if want := int64(2 * src.NumBatches()); st.Updates != want {
+		t.Errorf("%d updates after crash, want %d", st.Updates, want)
+	}
+	if st.Disconnects != 1 {
+		t.Errorf("%d disconnects, want 1", st.Disconnects)
+	}
+	if st.Reassigned == 0 {
+		t.Error("crash left no reassigned positions; the injection point sits after assignment")
+	}
+}
+
+// The Join handshake rejects a codec mismatch instead of silently
+// decoding one codec's payloads with another.
+func TestJoinRejectsCodecMismatch(t *testing.T) {
+	d, src := testSource(t, "census", 200)
+	sm := newSnapshotModel(t, "lr", d, 3)
+	codec, err := ParseCodec("topk:0.05", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Epochs: 1, NumBatches: src.NumBatches(), LR: 0.2, Codec: codec,
+	}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	tr := NewTrainer(client, newSnapshotModel(t, "lr", d, 3), src, TrainerConfig{})
+	if err := tr.Run(); err == nil {
+		t.Fatal("dense trainer joined a topk server")
+	}
+	srv.Halt()
+	if _, err := srv.Wait(); !errors.Is(err, engine.ErrHalted) {
+		t.Fatalf("Wait after halt: %v, want ErrHalted", err)
+	}
+}
+
+// Checkpoint/resume: a dense staleness-0 run interrupted mid-schedule
+// and resumed from its latest checkpoint finishes with bitwise the same
+// parameters as an uninterrupted run.
+func TestCheckpointResumeBitwise(t *testing.T) {
+	d, src := testSource(t, "mnist", 300)
+	n := src.NumBatches()
+	runOne := func(srv *Server) error {
+		t.Helper()
+		_, werr, errs, _ := runCluster(t, srv, 1, func(int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig) {
+			return newSnapshotModel(t, "lr", d, 13), src, TrainerConfig{}
+		})
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("trainer %d: %v", i, e)
+			}
+		}
+		return werr
+	}
+
+	full := newSnapshotModel(t, "lr", d, 13)
+	srv, err := NewServer(ServerConfig{Epochs: 3, NumBatches: n, LR: 0.2, Staleness: 0}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := runOne(srv); werr != nil {
+		t.Fatal(werr)
+	}
+
+	dir := t.TempDir()
+	ck, err := checkpoint.NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted := newSnapshotModel(t, "lr", d, 13)
+	var srv2 *Server
+	halt := make(chan struct{})
+	var once sync.Once
+	srv2, err = NewServer(ServerConfig{
+		Epochs: 3, NumBatches: n, LR: 0.2, Staleness: 0,
+		Checkpoint: ck, CheckpointEvery: 5,
+		OnStep: func(step int64, loss float64) {
+			if step >= int64(3*n)/2 {
+				once.Do(func() { close(halt) })
+			}
+		},
+	}, interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { <-halt; srv2.Halt() }()
+	// Halt races the (fast, in-process) schedule: the run may drain fully
+	// before it lands. Either way the final synchronous checkpoint is the
+	// resume point, so both outcomes exercise the path under test.
+	if werr := runOne(srv2); werr != nil && !errors.Is(werr, engine.ErrHalted) {
+		t.Fatal(werr)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != checkpoint.KindDist {
+		t.Fatalf("checkpoint kind %v, want dist", st.Kind)
+	}
+	resumed := newSnapshotModel(t, "lr", d, 13)
+	srv3, err := NewServer(ServerConfig{
+		Epochs: 3, NumBatches: n, LR: 0.2, Staleness: 0, Resume: st,
+	}, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := runOne(srv3); werr != nil {
+		t.Fatal(werr)
+	}
+	if diff := maxAbsDiff(paramsOf(full), paramsOf(resumed)); diff != 0 {
+		t.Errorf("resumed params diverge by %g (want bitwise identity)", diff)
+	}
+}
+
+// Resume validation refuses configuration drift.
+func TestResumeValidation(t *testing.T) {
+	good := &checkpoint.State{
+		Kind: checkpoint.KindDist, Seed: 1, LR: 0.2, Staleness: 2,
+		NumBatches: 8, Clock: 8, Epoch: 1,
+		EpochLoss: []float64{0.5}, Params: make([]float64, 4),
+	}
+	base := ServerConfig{Epochs: 3, NumBatches: 8, LR: 0.2, Seed: 1, Staleness: 2}
+	if _, err := NewServer(withResume(base, good), &stubModel{np: 4}); err != nil {
+		t.Fatalf("valid resume rejected: %v", err)
+	}
+	bad := []func(s *checkpoint.State){
+		func(s *checkpoint.State) { s.Kind = checkpoint.KindAsync },
+		func(s *checkpoint.State) { s.Seed = 99 },
+		func(s *checkpoint.State) { s.LR = 0.3 },
+		func(s *checkpoint.State) { s.Staleness = 5 },
+		func(s *checkpoint.State) { s.NumBatches = 9 },
+		func(s *checkpoint.State) { s.Params = make([]float64, 5) },
+		func(s *checkpoint.State) { s.Clock = 999 },
+		func(s *checkpoint.State) { s.EpochLoss = nil },
+	}
+	for i, mutate := range bad {
+		st := *good
+		st.EpochLoss = append([]float64(nil), good.EpochLoss...)
+		st.Params = append([]float64(nil), good.Params...)
+		mutate(&st)
+		if _, err := NewServer(withResume(base, &st), &stubModel{np: 4}); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func withResume(cfg ServerConfig, st *checkpoint.State) ServerConfig {
+	cfg.Resume = st
+	return cfg
+}
+
+// stubModel is a minimal SnapshotModel for validation-only tests.
+type stubModel struct {
+	np     int
+	params []float64
+}
+
+func (m *stubModel) NumParams() int        { return m.np }
+func (m *stubModel) Params(out []float64)  { copy(out, m.params) }
+func (m *stubModel) SetParams(p []float64) { m.params = append(m.params[:0], p...) }
+func (m *stubModel) Clone() ml.SnapshotModel {
+	return &stubModel{np: m.np, params: append([]float64(nil), m.params...)}
+}
+func (m *stubModel) Grad(x formats.CompressedMatrix, y []float64, out []float64) float64 {
+	for i := range out {
+		out[i] = 0
+	}
+	return 0
+}
+func (m *stubModel) ApplyGrad(g []float64, lr float64) {}
+func (m *stubModel) Step(x formats.CompressedMatrix, y []float64, lr float64) float64 {
+	return 0
+}
+func (m *stubModel) Loss(x formats.CompressedMatrix, y []float64) float64 { return 0 }
+func (m *stubModel) Predict(x formats.CompressedMatrix) []float64         { return nil }
+
+// Top-k at 1% density still converges close to dense while moving a
+// small fraction of the bytes — the acceptance criterion the netscale
+// regime gates in CI. Error-feedback coverage scales with steps×ratio,
+// so the schedule must be long enough for the residual tail to deliver:
+// at 1280 steps the gap is ~0.3%; at 160 it would still be ~20%.
+func TestTopKConvergenceAndWireRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a long schedule for error feedback to drain")
+	}
+	d, src := testSource(t, "mnist", 4000)
+	run := func(spec string) (float64, ServerStats) {
+		var codec GradCodec
+		if spec != "" {
+			var err error
+			codec, err = ParseCodec(spec, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		sm := newSnapshotModel(t, "lr", d, 13)
+		srv, err := NewServer(ServerConfig{
+			Epochs: 16, NumBatches: src.NumBatches(), LR: 0.2, Staleness: 2, Codec: codec,
+		}, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, werr, errs, _ := runCluster(t, srv, 2, func(int) (ml.SnapshotModel, ml.BatchSource, TrainerConfig) {
+			var c GradCodec
+			if codec != nil {
+				c = codec.Clone()
+			}
+			return newSnapshotModel(t, "lr", d, 13), src, TrainerConfig{Codec: c}
+		})
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("trainer %d: %v", i, e)
+			}
+		}
+		return res.EpochLoss[len(res.EpochLoss)-1], srv.Stats()
+	}
+	denseLoss, _ := run("")
+	topkLoss, st := run("topk:0.01")
+	if ratio := st.WireRatio(); ratio > 0.05 {
+		t.Errorf("topk:0.01 wire ratio %.4f, want <= 0.05 of dense bytes", ratio)
+	}
+	if delta := math.Abs(topkLoss-denseLoss) / denseLoss; delta > 0.02 {
+		t.Errorf("topk final loss %.6f vs dense %.6f: delta %.2f%% exceeds 2%%", topkLoss, denseLoss, 100*delta)
+	}
+}

@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzGradCodecDecode throws arbitrary bytes at every codec's two decode
+// paths. The contract under fuzz: decoders never panic, and a decode
+// that reports success must have produced only finite values from a
+// payload that re-encodes to the same coordinate count — malformed input
+// fails loudly, it never half-applies.
+func FuzzGradCodecDecode(f *testing.F) {
+	const np = 40
+	rng := rand.New(rand.NewSource(1))
+	g := make([]float64, np)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	// Seed with one valid payload per codec so the fuzzer starts from
+	// structurally plausible inputs.
+	f.Add((&Dense{}).EncodeGrad(g, nil))
+	f.Add((&TopK{ratio: 0.1}).EncodeGrad(append([]float64(nil), g...), nil))
+	f.Add((&DSQ{bits: 4, seed: 1}).EncodeGrad(append([]float64(nil), g...), nil))
+	f.Add((&DSQ{bits: 8, seed: 1}).EncodeGrad(append([]float64(nil), g...), nil))
+	f.Add([]byte{})
+	f.Add([]byte{tagTopK, np, 0})
+	f.Add([]byte{tagDSQ, np, 9, 0xff})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, c := range []GradCodec{&Dense{}, &TopK{ratio: 0.1}, &DSQ{bits: 4, seed: 1}} {
+			out := make([]float64, np)
+			_ = c.DecodeGrad(payload, out)
+			params := make([]float64, np)
+			_ = c.DecodeSnap(payload, params)
+		}
+		// DSQ validates its scale, so a successful quantized decode is
+		// always finite — raw-float codecs legitimately carry any bits.
+		c := &DSQ{bits: 4, seed: 1}
+		out := make([]float64, np)
+		if err := c.DecodeGrad(payload, out); err == nil {
+			for i, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("dsq decoded non-finite coord %d = %v", i, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Link is a simulated network interface: one token bucket per
+// direction, shared by every trainer talking to the server — the
+// storage layer's SharedBucket idea (aggregate cap at any queue depth)
+// applied to a NIC instead of a spindle. The server reserves uplink
+// time for every payload it receives and downlink time for every
+// payload it sends, so compressing the traffic shows up directly as
+// wall-clock saved, measurable in-process without real network
+// hardware. A nil *Link is an unmetered wire.
+type Link struct {
+	upBps, downBps int64
+	up, down       linkBucket
+}
+
+// NewLink builds a link with the given per-direction byte rates;
+// a rate <= 0 leaves that direction unmetered.
+func NewLink(upBps, downBps int64) *Link {
+	return &Link{upBps: upBps, downBps: downBps}
+}
+
+// NewLinkMbps builds a symmetric link from a megabits-per-second rating
+// (the -link-mbps flag); <= 0 returns nil, the unmetered wire.
+func NewLinkMbps(mbps float64) *Link {
+	if mbps <= 0 {
+		return nil
+	}
+	bps := int64(mbps * 1e6 / 8)
+	return NewLink(bps, bps)
+}
+
+// Up meters n bytes of trainer→server transfer.
+func (l *Link) Up(n int) {
+	if l != nil {
+		l.up.transfer(int64(n), l.upBps)
+	}
+}
+
+// Down meters n bytes of server→trainer transfer.
+func (l *Link) Down(n int) {
+	if l != nil {
+		l.down.transfer(int64(n), l.downBps)
+	}
+}
+
+// linkBucket tracks the virtual completion time of the last admitted
+// transfer; a reservation extends it and the caller sleeps until its
+// own transfer's virtual completion. Idle periods grant no credit
+// (next never falls behind the wall clock), so the cap holds at any
+// queue depth — the same contract as storage's shared-bucket disk
+// model.
+type linkBucket struct {
+	mu sync.Mutex
+	//toc:guardedby mu
+	next time.Time
+}
+
+// transfer reserves n bytes at rate bps and sleeps out the pacing
+// delay on the caller's goroutine.
+//
+//toc:timing
+func (b *linkBucket) transfer(n, bps int64) {
+	if n <= 0 || bps <= 0 {
+		return
+	}
+	b.mu.Lock()
+	now := time.Now()
+	if b.next.Before(now) {
+		b.next = now
+	}
+	b.next = b.next.Add(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+	d := b.next.Sub(now)
+	b.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,277 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The wire protocol: five RPCs on service "PS". A trainer Joins (codec
+// and shape handshake, bootstrap parameter image), then loops Next
+// (blocks until a position is admissible under the staleness bound —
+// the async engine's release gate over the wire), optionally Pull (a
+// compressed delta bringing its image to the current version), computes,
+// and Pushes the compressed gradient tagged with the snapshot version it
+// was computed at; the server rejects pushes staler than the bound and
+// the trainer recomputes against a fresh pull. Bye leaves cleanly;
+// vanishing without it is a crash and the trainer's in-flight positions
+// are requeued.
+//
+// Trainers call strictly serially (net/rpc's synchronous Call), so each
+// session has at most one RPC in flight; the session lock still guards
+// its state so a misbehaving client cannot corrupt the server.
+
+// JoinArgs is the trainer's handshake: the server validates that both
+// sides agree on the codec and the schedule shape before any traffic.
+type JoinArgs struct {
+	Codec      string
+	NumParams  int
+	NumBatches int
+}
+
+// JoinReply carries the trainer id, the staleness bound, and the
+// bootstrap parameter image (raw, uncompressed: the downlink codec's
+// delta chain starts from this exact shared image).
+type JoinReply struct {
+	Trainer   int
+	Staleness int
+	Version   int64
+	Params    []float64
+}
+
+// NextArgs requests the next position to compute.
+type NextArgs struct{ Trainer int }
+
+// NextReply is a released position (and its epoch batch index), or
+// Done when the schedule is complete.
+type NextReply struct {
+	Done  bool
+	Pos   int64
+	Batch int
+}
+
+// PullArgs requests a parameter refresh.
+type PullArgs struct{ Trainer int }
+
+// PullReply is the compressed delta from the trainer's last-known image
+// to the server's current parameters, tagged with the version (server
+// clock) it brings the trainer to.
+type PullReply struct {
+	Version int64
+	Payload []byte
+}
+
+// PushArgs submits one computed gradient: the position it was assigned,
+// the version of the snapshot it was computed against, its mini-batch
+// loss, and the codec payload.
+type PushArgs struct {
+	Trainer int
+	Pos     int64
+	Version int64
+	Loss    float64
+	Payload []byte
+}
+
+// PushReply reports admission: Rejected means the snapshot exceeded the
+// staleness bound and the trainer must pull and recompute.
+type PushReply struct {
+	Rejected bool
+	Clock    int64
+}
+
+// ByeArgs announces a clean departure.
+type ByeArgs struct{ Trainer int }
+
+// ByeReply is empty.
+type ByeReply struct{}
+
+// session is one trainer's server-side state: its identity and the
+// downlink codec clone tracking the parameter image this trainer holds.
+type session struct {
+	srv *Server
+
+	mu sync.Mutex
+	//toc:guardedby mu
+	id int // -1 until Join
+	//toc:guardedby mu
+	left bool // clean Bye received
+	//toc:guardedby mu
+	down GradCodec // per-trainer downlink codec (residual + prev chain)
+	//toc:guardedby mu
+	prev []float64 // the image the trainer currently holds
+	//toc:guardedby mu
+	paramsBuf []float64
+	//toc:guardedby mu
+	payloadBuf []byte
+}
+
+// Join implements the handshake RPC.
+func (x *session) Join(args *JoinArgs, reply *JoinReply) error {
+	s := x.srv
+	if args.NumParams != s.np {
+		return fmt.Errorf("dist: trainer model has %d params, server has %d", args.NumParams, s.np)
+	}
+	if args.NumBatches != s.n {
+		return fmt.Errorf("dist: trainer source has %d batches, schedule has %d", args.NumBatches, s.n)
+	}
+	if want := s.proto.Name(); args.Codec != want {
+		return fmt.Errorf("dist: trainer codec %q, server uses %q", args.Codec, want)
+	}
+	s.mu.Lock()
+	if err := s.failed; err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	id := s.nextID
+	s.nextID++
+	s.stats.Joined++
+	params := make([]float64, s.np)
+	s.m.Params(params)
+	version := s.clock
+	s.stats.DownBytes += int64(8 * s.np)
+	s.stats.DenseDownBytes += int64(8 * s.np)
+	s.mu.Unlock()
+	s.link.Down(8 * s.np)
+
+	x.mu.Lock()
+	x.id = id
+	x.down = s.proto.Clone()
+	x.prev = append([]float64(nil), params...)
+	x.mu.Unlock()
+
+	reply.Trainer = id
+	reply.Staleness = s.bound
+	reply.Version = version
+	reply.Params = params
+	return nil
+}
+
+// Next implements the position-release RPC: it blocks until a requeued
+// position is available, a fresh one is admissible, or the schedule is
+// done.
+func (x *session) Next(args *NextArgs, reply *NextReply) error {
+	s := x.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := s.failed; err != nil {
+			return err
+		}
+		if len(s.requeue) > 0 {
+			pos := s.requeue[0]
+			s.requeue = s.requeue[1:]
+			s.assignLocked(pos, x)
+			reply.Pos, reply.Batch = pos, s.batchOfLocked(pos)
+			return nil
+		}
+		if s.finishedLocked() {
+			reply.Done = true
+			return nil
+		}
+		if !s.halted && s.nextRelease < s.total && s.admissibleLocked(s.nextRelease) {
+			pos := s.nextRelease
+			s.nextRelease++
+			s.assignLocked(pos, x)
+			reply.Pos, reply.Batch = pos, s.batchOfLocked(pos)
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// Pull implements the parameter-refresh RPC.
+func (x *session) Pull(args *PullArgs, reply *PullReply) error {
+	s := x.srv
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.id < 0 {
+		return fmt.Errorf("dist: Pull before Join")
+	}
+	s.mu.Lock()
+	if err := s.failed; err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if len(x.paramsBuf) != s.np {
+		x.paramsBuf = make([]float64, s.np)
+	}
+	s.m.Params(x.paramsBuf)
+	version := s.clock
+	s.stats.Pulls++
+	s.mu.Unlock()
+
+	x.payloadBuf = x.down.EncodeSnap(x.paramsBuf, x.prev, x.payloadBuf[:0])
+	payload := x.payloadBuf
+
+	s.mu.Lock()
+	s.stats.DownBytes += int64(len(payload))
+	s.stats.DenseDownBytes += int64(8 * s.np)
+	s.mu.Unlock()
+	s.link.Down(len(payload))
+
+	reply.Version = version
+	// The buffer is reused only after the client's next call, which it
+	// cannot issue before reading this reply.
+	reply.Payload = payload
+	return nil
+}
+
+// Push implements the gradient-submission RPC.
+func (x *session) Push(args *PushArgs, reply *PushReply) error {
+	s := x.srv
+	s.link.Up(len(args.Payload))
+	// Decode outside the server lock: GradCodec decode methods are
+	// stateless, so the shared prototype serves every session.
+	grad := s.getGradBuf()
+	if err := s.proto.DecodeGrad(args.Payload, grad); err != nil {
+		err = fmt.Errorf("dist: push from trainer %d: %w", args.Trainer, err)
+		s.fail(err)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Pushes++
+	s.stats.UpBytes += int64(len(args.Payload))
+	s.stats.DenseUpBytes += int64(8 * s.np)
+	s.unassignLocked(args.Pos, x)
+	if args.Pos < s.clock {
+		// Already applied: a crash-requeued duplicate finished twice.
+		s.stats.Duplicates++
+		s.putGradBufLocked(grad)
+		reply.Clock = s.clock
+		return nil
+	}
+	if stale := args.Pos - args.Version; s.bound >= 0 && stale > int64(s.bound) {
+		s.stats.Rejected++
+		s.putGradBufLocked(grad)
+		// The position stays this trainer's: the reply tells it to pull
+		// fresh parameters and recompute, and re-recording the
+		// assignment keeps the position recoverable if it crashes
+		// mid-recompute.
+		s.assignLocked(args.Pos, x)
+		reply.Rejected = true
+		reply.Clock = s.clock
+		return nil
+	} else if _, dup := s.pending[args.Pos]; dup {
+		s.stats.Duplicates++
+		s.putGradBufLocked(grad)
+		reply.Clock = s.clock
+		return nil
+	} else {
+		s.pending[args.Pos] = pendingGrad{grad: grad, loss: args.Loss, stale: stale}
+	}
+	s.drainLocked()
+	reply.Clock = s.clock
+	return nil
+}
+
+// Bye implements the clean-departure RPC.
+func (x *session) Bye(args *ByeArgs, reply *ByeReply) error {
+	s := x.srv
+	x.mu.Lock()
+	x.left = true
+	x.mu.Unlock()
+	s.mu.Lock()
+	s.stats.Left++
+	s.mu.Unlock()
+	return nil
+}

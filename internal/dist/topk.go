@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"toc/internal/bitpack"
+)
+
+// TopK is ScaleCom-style sparsification with error feedback: each
+// payload carries only the k = ceil(ratio·NumParams) largest-magnitude
+// coordinates of residual+input, and the coordinates it drops stay in
+// the residual, so over time everything the gradients contained is
+// delivered — the residual plus the payload history sums exactly to the
+// input history (the property test pins this). The same scheme
+// compresses the downlink as the delta of the parameter image against
+// what the trainer last received.
+//
+// Selection is deterministic: magnitude descending, index ascending on
+// ties, so a run is reproducible regardless of sort internals. Indices
+// travel bitpacked (internal/bitpack width-minimal arrays), values as
+// raw float64.
+type TopK struct {
+	ratio float64
+
+	// gradRes is the uplink error-feedback residual, sized lazily at
+	// first use; acc and sel are scratch. The downlink needs no separate
+	// residual: undelivered snapshot mass lives in the params−prev delta.
+	gradRes []float64
+	acc     []float64
+	sel     []int
+}
+
+// Name implements GradCodec.
+func (c *TopK) Name() string { return fmt.Sprintf("topk:%g", c.ratio) }
+
+// Clone implements GradCodec.
+func (c *TopK) Clone() GradCodec { return &TopK{ratio: c.ratio} }
+
+// kOf is the payload coordinate budget for an np-wide vector.
+func (c *TopK) kOf(np int) int {
+	k := int(math.Ceil(c.ratio * float64(np)))
+	if k < 1 {
+		k = 1
+	}
+	if k > np {
+		k = np
+	}
+	return k
+}
+
+// grow sizes a residual (or scratch) vector for np coordinates.
+func grow(buf *[]float64, np int) []float64 {
+	if len(*buf) != np {
+		*buf = make([]float64, np)
+	}
+	return *buf
+}
+
+// encode appends the top-k image of acc and zeroes the sent
+// coordinates, leaving acc as the new residual.
+func (c *TopK) encode(acc []float64, dst []byte) []byte {
+	np := len(acc)
+	k := c.kOf(np)
+	if cap(c.sel) < np {
+		c.sel = make([]int, np)
+	}
+	sel := c.sel[:np]
+	for i := range sel {
+		sel[i] = i
+	}
+	sort.Slice(sel, func(a, b int) bool {
+		ma, mb := math.Abs(acc[sel[a]]), math.Abs(acc[sel[b]])
+		if ma != mb {
+			return ma > mb
+		}
+		return sel[a] < sel[b]
+	})
+	sel = sel[:k]
+	sort.Ints(sel)
+
+	dst = header(dst, tagTopK, np)
+	dst = bitpack.AppendUvarint(dst, uint64(k))
+	idx := make([]uint32, k)
+	for i, j := range sel {
+		idx[i] = uint32(j)
+	}
+	dst = bitpack.Pack(idx).AppendTo(dst)
+	for _, j := range sel {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(acc[j]))
+		acc[j] = 0
+	}
+	return dst
+}
+
+// decode parses a top-k payload and calls visit for each carried
+// coordinate, validating every length before any allocation.
+func decodeTopK(payload []byte, np int, visit func(i int, v float64)) error {
+	body, err := readHeader(payload, tagTopK, np)
+	if err != nil {
+		return err
+	}
+	k64, used, err := bitpack.Uvarint(body)
+	if err != nil {
+		return fmt.Errorf("dist: topk count: %v", err)
+	}
+	if k64 == 0 || k64 > uint64(np) {
+		return fmt.Errorf("dist: topk count %d out of [1, %d]", k64, np)
+	}
+	k := int(k64)
+	arr, rest, err := bitpack.ReadArray(body[used:])
+	if err != nil {
+		return fmt.Errorf("dist: topk indices: %v", err)
+	}
+	if arr.Len() != k {
+		return fmt.Errorf("dist: topk payload has %d indices, header says %d", arr.Len(), k)
+	}
+	if len(rest) != 8*k {
+		return fmt.Errorf("dist: topk payload has %d value bytes, want %d", len(rest), 8*k)
+	}
+	for i := 0; i < k; i++ {
+		j := arr.Get(i)
+		if j >= uint32(np) {
+			return fmt.Errorf("dist: topk index %d out of range %d", j, np)
+		}
+		visit(int(j), math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:])))
+	}
+	return nil
+}
+
+// EncodeGrad implements GradCodec.
+func (c *TopK) EncodeGrad(grad []float64, dst []byte) []byte {
+	res := grow(&c.gradRes, len(grad))
+	for i, g := range grad {
+		res[i] += g
+	}
+	return c.encode(res, dst)
+}
+
+// ReturnGrad implements GradCodec: re-credit a rejected payload.
+func (c *TopK) ReturnGrad(payload []byte) error {
+	res := grow(&c.gradRes, len(c.gradRes))
+	if len(res) == 0 {
+		return fmt.Errorf("dist: ReturnGrad before any EncodeGrad")
+	}
+	return decodeTopK(payload, len(res), func(i int, v float64) { res[i] += v })
+}
+
+// DecodeGrad implements GradCodec: scatter into a zeroed vector.
+func (c *TopK) DecodeGrad(payload []byte, out []float64) error {
+	// Validate fully before mutating out, so a malformed payload cannot
+	// leave a half-scattered gradient behind.
+	if err := decodeTopK(payload, len(out), func(int, float64) {}); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	return decodeTopK(payload, len(out), func(i int, v float64) { out[i] = v })
+}
+
+// EncodeSnap implements GradCodec: top-k of the delta params − prev,
+// advancing prev by exactly what the payload carries. The delta itself
+// is the error-feedback state — prev only moves by what was delivered,
+// so every undelivered coordinate stays in the next round's delta; a
+// separate residual would double-count it.
+func (c *TopK) EncodeSnap(params, prev []float64, dst []byte) []byte {
+	acc := grow(&c.acc, len(params))
+	for i := range acc {
+		acc[i] = params[i] - prev[i]
+	}
+	mark := len(dst)
+	dst = c.encode(acc, dst)
+	// Apply the payload to prev so it tracks the trainer-side image.
+	if err := c.DecodeSnap(dst[mark:], prev); err != nil {
+		// Decoding bytes this codec just encoded cannot fail.
+		panic(fmt.Sprintf("dist: topk self-decode: %v", err))
+	}
+	return dst
+}
+
+// DecodeSnap implements GradCodec: add the carried delta coordinates.
+func (c *TopK) DecodeSnap(payload []byte, params []float64) error {
+	if err := decodeTopK(payload, len(params), func(int, float64) {}); err != nil {
+		return err
+	}
+	return decodeTopK(payload, len(params), func(i int, v float64) { params[i] += v })
+}

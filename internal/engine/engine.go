@@ -156,6 +156,11 @@ func epochPerm(seed int64, epoch, n int) []int {
 	return rand.New(rand.NewSource(seed + int64(epoch))).Perm(n)
 }
 
+// EpochPerm exposes the per-epoch visit permutation to the other
+// training drivers (internal/dist's parameter server), so a distributed
+// run at the same seed walks exactly the schedule a local run walks.
+func EpochPerm(seed int64, epoch, n int) []int { return epochPerm(seed, epoch, n) }
+
 // OrderedSource is a BatchSource that accepts visit-order hints;
 // storage.Prefetcher implements it. Train announces each epoch's
 // permutation through it so prefetching stays ahead of the loop.

@@ -25,11 +25,13 @@
 package toc
 
 import (
+	"io"
 	"time"
 
 	"toc/internal/checkpoint"
 	"toc/internal/core"
 	"toc/internal/data"
+	"toc/internal/dist"
 	"toc/internal/engine"
 	"toc/internal/faultpoint"
 	"toc/internal/formats"
@@ -434,3 +436,70 @@ func OpenStore(manifestPath string, opts ...StoreOption) (*Store, error) {
 // hook behind the crash-matrix suite, also reachable via the
 // TOC_FAULTPOINTS environment variable. No-op cost when disarmed.
 func ArmFaultpoints(spec string) error { return faultpoint.ArmSpec(spec) }
+
+// ---- Distributed data-parallel training over net/rpc ----
+
+// DistServer is the parameter server of a distributed run: it owns the
+// model and the update clock, releases schedule positions to trainers
+// under the async engine's staleness gate (carried over the wire), and
+// applies pushed gradients strictly in position order. A trainer that
+// vanishes without a clean goodbye is a crash; its in-flight positions
+// are requeued to the survivors. One trainer with the dense codec at
+// staleness 0 walks the local async engine's trajectory bitwise.
+type DistServer = dist.Server
+
+// DistServerConfig sizes a parameter-server run: schedule (Epochs,
+// NumBatches, Seed, Shuffle), learning rate, staleness bound, gradient
+// codec, simulated link, and checkpoint/resume.
+type DistServerConfig = dist.ServerConfig
+
+// DistServerStats counts a distributed run: applied/rejected/duplicate
+// pushes, staleness, membership (joins, crashes, reassigned positions),
+// and bytes-on-wire against the dense baseline (WireRatio).
+type DistServerStats = dist.ServerStats
+
+// DistTrainer is one worker process of a distributed run: it joins a
+// DistServer over any io.ReadWriteCloser, pulls compressed parameter
+// images, and pushes compressed gradients for the positions it is
+// assigned.
+type DistTrainer = dist.Trainer
+
+// DistTrainerConfig configures a trainer's codec (must match the
+// server's) and its pull policy.
+type DistTrainerConfig = dist.TrainerConfig
+
+// DistTrainerStats counts one trainer's steps, recomputes, pulls and
+// payload bytes.
+type DistTrainerStats = dist.TrainerStats
+
+// GradCodec compresses the two directions of parameter-server traffic:
+// dense (exact baseline), top-k sparsification with error-feedback
+// residuals, or error-compensated stochastic quantization.
+type GradCodec = dist.GradCodec
+
+// DistLink is a simulated network link: payloads in each direction
+// drain through a token bucket at the configured bandwidth, so bytes
+// saved by a codec become wall-clock saved, measurably.
+type DistLink = dist.Link
+
+// ParseGradCodec resolves a codec spec — "dense", "topk:<ratio>"
+// (fraction of coordinates kept, e.g. topk:0.01) or "dsq:<bits>" (2–8
+// bit quantization). seed drives dsq's stochastic rounding stream.
+func ParseGradCodec(spec string, seed int64) (GradCodec, error) { return dist.ParseCodec(spec, seed) }
+
+// NewDistServer builds a parameter server around m; read the final
+// parameters from m after Wait returns.
+func NewDistServer(cfg DistServerConfig, m SnapshotModel) (*DistServer, error) {
+	return dist.NewServer(cfg, m)
+}
+
+// NewDistTrainer wraps a connection to a DistServer. The model must
+// have the server model's parameter count and src the schedule's batch
+// count.
+func NewDistTrainer(conn io.ReadWriteCloser, m SnapshotModel, src BatchSource, cfg DistTrainerConfig) *DistTrainer {
+	return dist.NewTrainer(conn, m, src, cfg)
+}
+
+// NewDistLinkMbps builds a symmetric simulated link of the given
+// megabits per second; mbps <= 0 returns nil (unmetered).
+func NewDistLinkMbps(mbps float64) *DistLink { return dist.NewLinkMbps(mbps) }
